@@ -1,0 +1,61 @@
+"""Ablation: colouring-bound pre-pruning (Section II-B3 extension).
+
+The paper mentions vertex colouring as the tighter alternative to the
+degree/core upper bound but does not adopt it; DESIGN.md calls it out
+as an optional extension. This bench measures what it would buy:
+additional pre-pruning at 2-clique setup, against its preprocessing
+cost.
+"""
+
+from repro.core.config import SolverConfig
+from repro.datasets.suite import iter_suite
+from repro.experiments.harness import EVAL_SPEC, run_config
+from repro.experiments.report import render_table
+
+from conftest import BENCH_SCALE, run_once
+
+
+def _compare():
+    rows = []
+    for spec, graph in iter_suite(max_edges=40_000, limit=16):
+        base = run_config(
+            spec, graph, SolverConfig(), EVAL_SPEC, BENCH_SCALE["timeout_s"]
+        )
+        colored = run_config(
+            spec,
+            graph,
+            SolverConfig(coloring_preprune=True),
+            EVAL_SPEC,
+            BENCH_SCALE["timeout_s"],
+        )
+        rows.append((spec.name, base, colored))
+    return rows
+
+
+def test_coloring_preprune_ablation(benchmark):
+    rows = run_once(benchmark, _compare)
+    print()
+    print(
+        render_table(
+            ["dataset", "base pruned", "colored pruned", "base mem", "colored mem"],
+            [
+                (
+                    name,
+                    f"{b.pruned_fraction:.1%}" if b.ok else "OOM",
+                    f"{c.pruned_fraction:.1%}" if c.ok else "OOM",
+                    b.search_memory_bytes if b.ok else "-",
+                    c.search_memory_bytes if c.ok else "-",
+                )
+                for name, b, c in rows
+            ],
+            title="Ablation: colouring-bound pre-pruning",
+        )
+    )
+    both_ok = [(b, c) for _, b, c in rows if b.ok and c.ok]
+    assert len(both_ok) >= 8
+    for b, c in both_ok:
+        # a tighter upper bound must never change the answer
+        assert b.omega == c.omega
+        assert b.num_max_cliques == c.num_max_cliques
+        # and never prunes less
+        assert c.pruned_fraction >= b.pruned_fraction - 1e-9

@@ -1,0 +1,68 @@
+"""Baseline study: breadth-first vs warp-parallel depth-first on device.
+
+The paper's Sections II-C/III argue that depth-first GPU traversals
+suffer from workload imbalance and stale bounds. This bench runs both
+approaches on the suite and reports, per dataset: exactness agreement,
+model times, subtree imbalance (max/mean warp cost), and nodes
+explored. The headline assertions are the structural ones the paper
+makes -- skewed subtrees and stale-bound work inflation -- which our
+op-level cost model exposes directly.
+"""
+
+from repro.baselines.gpu_dfs import gpu_dfs_max_clique
+from repro.core.config import SolverConfig
+from repro.datasets.suite import iter_suite
+from repro.experiments.harness import EVAL_SPEC, run_config
+from repro.experiments.report import geometric_mean, render_table
+from repro.gpusim.device import Device
+
+from conftest import BENCH_SCALE, run_once
+
+
+def _compare():
+    rows = []
+    for spec, graph in iter_suite(
+        max_edges=BENCH_SCALE["max_edges"], limit=24
+    ):
+        bf = run_config(
+            spec, graph, SolverConfig(), EVAL_SPEC, BENCH_SCALE["timeout_s"]
+        )
+        dfs = gpu_dfs_max_clique(graph, Device(EVAL_SPEC))
+        rows.append((spec.name, bf, dfs))
+    return rows
+
+
+def test_bf_vs_warp_dfs(benchmark):
+    rows = run_once(benchmark, _compare)
+    print()
+    print(
+        render_table(
+            ["dataset", "BF time", "DFS time", "DFS/BF", "imbalance", "DFS nodes"],
+            [
+                (
+                    name,
+                    f"{bf.model_time_s * 1e3:.3f}ms" if bf.ok else "OOM",
+                    f"{dfs.model_time_s * 1e3:.3f}ms",
+                    f"{dfs.model_time_s / bf.model_time_s:.2f}"
+                    if bf.ok
+                    else "-",
+                    f"{dfs.imbalance:.1f}x",
+                    dfs.nodes_explored,
+                )
+                for name, bf, dfs in rows
+            ],
+            title="Breadth-first vs warp-parallel DFS",
+        )
+    )
+    agree = [(bf, dfs) for _, bf, dfs in rows if bf.ok]
+    assert len(agree) >= 15
+    # exactness: both find the same clique number
+    for bf, dfs in agree:
+        assert bf.omega == dfs.clique_number
+
+    # the paper's load-imbalance claim: subtree costs are skewed
+    imbalances = [dfs.imbalance for _, _, dfs in rows if dfs.warps_used > 1]
+    assert geometric_mean(imbalances) > 2.0
+    # DFS never enumerates: it reports exactly one clique, while the
+    # breadth-first result knows the full count
+    assert any(bf.num_max_cliques > 1 for bf, _ in agree)

@@ -1,0 +1,85 @@
+"""Extension study: concurrent windows (paper Section V-C3).
+
+The paper predicts that exploring multiple windows simultaneously
+would recover parallelism at a memory cost. This bench sweeps the
+fanout on the suite's windowable graphs and reports the model-time /
+peak-memory frontier.
+"""
+
+from repro.core.config import Heuristic, SolverConfig
+from repro.datasets.suite import iter_suite
+from repro.experiments.harness import EVAL_SPEC, run_config
+from repro.experiments.report import geometric_mean, render_table
+
+from conftest import BENCH_SCALE, run_once
+
+FANOUTS = (1, 4, 16)
+WINDOW = 1024
+
+
+def _sweep():
+    rows = []
+    for spec, graph in iter_suite(
+        max_edges=BENCH_SCALE["max_edges"], limit=20
+    ):
+        recs = {}
+        for fanout in FANOUTS:
+            config = SolverConfig(
+                heuristic=Heuristic.MULTI_DEGREE,
+                window_size=WINDOW,
+                window_fanout=fanout,
+            )
+            recs[fanout] = run_config(
+                spec, graph, config, EVAL_SPEC, BENCH_SCALE["timeout_s"]
+            )
+        rows.append((spec.name, recs))
+    return rows
+
+
+def test_concurrent_window_fanout(benchmark):
+    rows = run_once(benchmark, _sweep)
+    print()
+    print(
+        render_table(
+            ["dataset"]
+            + [f"t(f={f})" for f in FANOUTS]
+            + [f"mem(f={f})" for f in FANOUTS],
+            [
+                [name]
+                + [
+                    f"{recs[f].model_time_s * 1e3:.3f}ms" if recs[f].ok else "OOM"
+                    for f in FANOUTS
+                ]
+                + [
+                    f"{recs[f].search_memory_bytes / 1024:.0f}K"
+                    if recs[f].ok
+                    else "-"
+                    for f in FANOUTS
+                ]
+                for name, recs in rows
+            ],
+            title=f"Concurrent windows (window={WINDOW})",
+        )
+    )
+    all_ok = [
+        recs for _, recs in rows if all(recs[f].ok for f in FANOUTS)
+    ]
+    assert len(all_ok) >= 10
+    for recs in all_ok:
+        # every fanout agrees on omega
+        omegas = {recs[f].omega for f in FANOUTS}
+        assert len(omegas) == 1
+
+    # higher fanout is faster on geo-mean...
+    speed = geometric_mean(
+        [recs[1].model_time_s / recs[FANOUTS[-1]].model_time_s for recs in all_ok]
+    )
+    assert speed > 1.1
+    # ...but costs memory where windowing actually splits the search
+    mem_ratios = [
+        recs[FANOUTS[-1]].search_memory_bytes / recs[1].search_memory_bytes
+        for recs in all_ok
+        if recs[1].windows > 1 and recs[1].search_memory_bytes > 0
+    ]
+    if mem_ratios:
+        assert geometric_mean(mem_ratios) > 1.0

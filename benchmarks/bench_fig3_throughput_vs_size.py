@@ -1,0 +1,19 @@
+"""Figure 3: throughput (edges/s) vs graph size (|E|).
+
+Paper: throughput *increases* with edge count -- larger graphs keep
+the device full, so runtime per edge falls.
+"""
+
+from repro.experiments.figures import figure3
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_figure3_regenerates(benchmark):
+    fig = run_once(benchmark, lambda: figure3(**BENCH_SCALE))
+    print()
+    print(fig.render())
+
+    assert len(fig.rows) >= 20
+    # positive rank correlation with graph size
+    assert fig.bf_correlation > 0.2

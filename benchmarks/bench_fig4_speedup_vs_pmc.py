@@ -1,0 +1,41 @@
+"""Figure 4: speedup over Rossi et al.'s PMC baseline.
+
+Paper: overall geo-mean speedup ~1.9x; the breadth-first device
+solver wins on low-degree graphs while PMC wins on high-degree ones;
+for datasets only solvable with windowing, PMC is significantly
+faster.
+"""
+
+from repro.experiments.figures import figure4
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_figure4_regenerates(benchmark):
+    fig = run_once(benchmark, lambda: figure4(**BENCH_SCALE))
+    print()
+    print(fig.render())
+
+    assert len(fig.rows) >= 20
+    # the solver beats PMC overall (paper: 1.9x average)
+    assert fig.bf_geomean > 1.0
+
+    # PMC wins somewhere (the paper's smallest/hardest datasets);
+    # at our ~1000x-reduced scale that is the small-graph end rather
+    # than the high-degree end -- see EXPERIMENTS.md for the analysis
+    ok_speedups = [bf for _, _, bf, _ in fig.rows if bf > 0]
+    assert min(ok_speedups) < 1.0
+
+    # within the lowest-degree family (road grids) the advantage grows
+    # with size, the paper's "best on large, low-degree graphs" claim
+    road = [
+        (name, bf) for name, _, bf, _ in fig.rows
+        if name.startswith("road-") and bf > 0
+    ]
+    if len(road) >= 4:
+        assert road[-1][1] > road[0][1]
+
+    # windowing never beats the full BF run where both complete
+    for _, _, bf, w in fig.rows:
+        if bf > 0 and w > 0:
+            assert w <= bf * 1.05

@@ -1,0 +1,33 @@
+"""Table II: geometric-mean speedups between heuristic choices.
+
+Paper (Table II): for datasets solvable with no heuristic, heavier
+heuristics mostly cost more than they save (values around or below
+1x); datasets that *require* stronger heuristics benefit from them
+(e.g. single-core -> multi-degree was 2.9x).
+"""
+
+from repro.experiments.tables import table2
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_table2_regenerates(benchmark):
+    t = run_once(benchmark, lambda: table2(**BENCH_SCALE))
+    print()
+    print(t.render())
+
+    # groups must partition a non-trivial part of the suite
+    assert sum(t.group_sizes.values()) > 0
+    none_group = t.cells.get("none", {})
+
+    # the paper's "None" row: adding the multi-run core heuristic to
+    # graphs that do not need any heuristic slows them down (0.4x)
+    v = none_group.get("multi-core")
+    if v == v:  # not NaN
+        assert v < 1.5
+
+    # every populated cell is a positive finite ratio
+    for row in t.cells.values():
+        for cell in row.values():
+            if cell == cell:
+                assert 0 < cell < 1000

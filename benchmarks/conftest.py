@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper at
+a benchmark-friendly scale (the suite subset below), prints the same
+rows/series the paper reports, and asserts the paper's *qualitative*
+shape. The full-suite regeneration used for EXPERIMENTS.md runs the
+same code with no ``max_edges`` filter.
+"""
+
+import pytest
+
+#: suite subset used inside benchmarks: keeps a full run to minutes
+#: while covering every category and both easy/hard regimes
+BENCH_SCALE = dict(max_edges=100_000, timeout_s=45.0)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return dict(BENCH_SCALE)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Systems biology: finding protein complexes as maximum cliques.
+
+The paper cites systems biology (Zhang et al., SC'05) as a driving
+application: in a protein-protein interaction (PPI) network, a clique
+is a set of proteins that all interact pairwise -- a candidate protein
+complex. This example builds a synthetic PPI network (heavy-tailed
+interaction backbone + embedded complexes), enumerates the maximum
+cliques, and shows why enumerating *all* of them matters: the complex
+the analysis cares about may be any of the co-maximum ones.
+
+It also demonstrates the GPU-vs-CPU comparison on one graph: the same
+instance solved by the breadth-first device solver and the PMC-style
+branch & bound, in one comparable model-time currency.
+
+Run:  python examples/protein_complex_discovery.py
+"""
+
+import numpy as np
+
+from repro import find_maximum_cliques
+from repro.baselines import pmc_max_clique
+from repro.graph import generators
+from repro.graph.build import graph_union
+
+
+def build_ppi_network(seed: int = 11):
+    """Heavy-tailed interaction backbone + clique-like complexes."""
+    n = 4_000
+    backbone = generators.chung_lu_power_law(n, avg_degree=7.0, seed=seed)
+    complexes = generators.team_collaboration(
+        n, num_teams=n // 8, team_size_range=(3, 14), seed=seed + 1
+    )
+    return graph_union(backbone, complexes)
+
+
+def main() -> None:
+    graph = build_ppi_network()
+    print(f"PPI network: {graph}\n")
+
+    result = find_maximum_cliques(graph)
+    print(
+        f"largest protein complexes: {result.num_maximum_cliques} "
+        f"complex(es) of {result.clique_number} proteins"
+    )
+    for row in result.cliques[:4]:
+        print(f"  complex: proteins {sorted(int(v) for v in row)}")
+
+    # sanity: every reported complex is fully pairwise-interacting
+    for row in result.cliques:
+        members = row.tolist()
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                assert graph.has_edge(a, b)
+    print("verified: every reported complex is a true clique\n")
+
+    # --- cross-check with the CPU baseline ---------------------------
+    pmc = pmc_max_clique(graph)
+    assert pmc.clique_number == result.clique_number
+    print("device (breadth-first) vs CPU (PMC branch & bound):")
+    print(f"  device model time: {result.model_time_s * 1e3:8.3f} ms "
+          f"(enumerates all {result.num_maximum_cliques})")
+    print(f"  PMC model time:    {pmc.model_time_s * 1e3:8.3f} ms "
+          f"(finds 1 of them)")
+    ratio = pmc.model_time_s / result.model_time_s
+    print(f"  speedup over PMC:  {ratio:.2f}x on this low-degree graph")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Social network analysis: find the tightest friend groups.
+
+The paper's introduction motivates maximum clique enumeration with
+social network analysis: a maximum clique is the largest group of
+users who all know each other. This example builds a synthetic
+community-structured social network, enumerates *all* of its maximum
+cliques (the paper's headline capability -- PMC-style tools return
+just one), and compares the heuristic variants on it.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+from repro import Device, DeviceSpec, SolverConfig, MaxCliqueSolver
+from repro.graph import generators
+
+MIB = 1 << 20
+
+
+def main() -> None:
+    # a 20-community social network, ~25 average degree
+    graph = generators.caveman_social(
+        num_communities=20, community_size=60, p_in=0.4,
+        p_out_degree=3.0, seed=42,
+    )
+    print(f"social network: {graph}\n")
+
+    # --- enumerate every maximum clique ------------------------------
+    result = MaxCliqueSolver(graph).solve()
+    print(
+        f"tightest friend groups: {result.num_maximum_cliques} group(s) "
+        f"of size {result.clique_number}"
+    )
+    for row in result.cliques[:5]:
+        print(f"  members: {sorted(int(v) for v in row)}")
+    if result.num_maximum_cliques > 5:
+        print(f"  ... and {result.num_maximum_cliques - 5} more")
+
+    # --- compare heuristic variants ----------------------------------
+    print(f"\n{'heuristic':15s}{'bound':>6s}{'pruned':>8s}"
+          f"{'model time':>12s}{'peak mem':>10s}")
+    for heuristic in ("none", "single-degree", "single-core",
+                      "multi-degree", "multi-core"):
+        device = Device(DeviceSpec(memory_bytes=256 * MIB))
+        config = SolverConfig(heuristic=heuristic)
+        r = MaxCliqueSolver(graph, config, device).solve()
+        assert r.clique_number == result.clique_number
+        print(
+            f"{heuristic:15s}{r.heuristic.lower_bound:>6d}"
+            f"{r.pruned_fraction:>8.1%}"
+            f"{r.model_time_s * 1e3:>10.2f}ms"
+            f"{r.peak_memory_bytes / MIB:>9.2f}M"
+        )
+
+    print(
+        "\nNote how better lower bounds prune more candidates and cut "
+        "peak memory -- the paper's Table I/Figure 5b story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run PEP-517
+editable installs; ``python setup.py develop`` (or adding ``src`` to a
+.pth file) works instead.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro -- Maximum Clique Enumeration on a simulated GPU.
+
+A faithful, laptop-scale reproduction of Geil, Porumbescu & Owens,
+*Maximum Clique Enumeration on the GPU* (2023): the breadth-first
+clique-list algorithm, its greedy heuristics, the windowed search, a
+PMC-style CPU baseline, and a full experiment harness -- all running
+on a simulated SIMT device with a real memory budget and a
+deterministic cost model.
+
+Public entry points
+-------------------
+:func:`find_maximum_cliques`
+    One-call solve: ``find_maximum_cliques(graph)`` enumerates every
+    maximum clique of a :class:`~repro.graph.CSRGraph`.
+:class:`MaxCliqueSolver` / :class:`SolverConfig`
+    The configurable pipeline (heuristic variant, windowing, ordering
+    ablations, memory budget via a custom :class:`Device`).
+:mod:`repro.graph`
+    CSR graphs, loaders, generators, k-core, colouring.
+:mod:`repro.gpusim`
+    The simulated device substrate.
+:mod:`repro.baselines`
+    PMC-style branch & bound and reference algorithms.
+:mod:`repro.datasets`
+    The 58-graph surrogate evaluation suite.
+:mod:`repro.experiments`
+    Regeneration of every table and figure in the paper.
+"""
+
+from .core import (
+    Heuristic,
+    MaxCliqueResult,
+    MaxCliqueSolver,
+    RankKey,
+    SolverConfig,
+    SublistOrder,
+    WindowOrder,
+    find_maximum_cliques,
+)
+from .errors import (
+    DeviceOOMError,
+    DeviceStateError,
+    GraphFormatError,
+    ReproError,
+    SolverConfigError,
+)
+from .gpusim import Device, DeviceSpec
+from .graph import CSRGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "find_maximum_cliques",
+    "MaxCliqueSolver",
+    "SolverConfig",
+    "MaxCliqueResult",
+    "Heuristic",
+    "RankKey",
+    "SublistOrder",
+    "WindowOrder",
+    "CSRGraph",
+    "Device",
+    "DeviceSpec",
+    "ReproError",
+    "DeviceOOMError",
+    "DeviceStateError",
+    "GraphFormatError",
+    "SolverConfigError",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Baseline algorithms: PMC-style branch & bound and reference oracles."""
+
+from .bron_kerbosch import (
+    bron_kerbosch,
+    count_maximal_cliques,
+    maximal_cliques,
+    maximum_cliques_via_bk,
+)
+from .brute import brute_force_maximum_cliques
+from .gpu_dfs import GPUDFSResult, gpu_dfs_max_clique
+from .pmc import PMCResult, pmc_heuristic, pmc_max_clique
+
+__all__ = [
+    "pmc_max_clique",
+    "pmc_heuristic",
+    "PMCResult",
+    "bron_kerbosch",
+    "maximal_cliques",
+    "count_maximal_cliques",
+    "maximum_cliques_via_bk",
+    "brute_force_maximum_cliques",
+    "gpu_dfs_max_clique",
+    "GPUDFSResult",
+]

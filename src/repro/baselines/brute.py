@@ -1,0 +1,48 @@
+"""Exhaustive maximum clique reference for tiny graphs.
+
+A direct subset-enumeration oracle, independent of every other
+implementation in this repo (including Bron-Kerbosch), for
+property-based tests on graphs of up to ~20 vertices.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["brute_force_maximum_cliques"]
+
+
+def brute_force_maximum_cliques(
+    graph: CSRGraph, max_vertices: int = 22
+) -> Tuple[int, List[Tuple[int, ...]]]:
+    """Exact ``(omega, all maximum cliques)`` by subset enumeration.
+
+    Checks subsets in decreasing size order, so it stops at the first
+    size with any clique. Exponential: guarded by ``max_vertices``.
+    """
+    n = graph.num_vertices
+    if n > max_vertices:
+        raise ValueError(
+            f"brute force limited to {max_vertices} vertices; got {n}"
+        )
+    if n == 0:
+        return 0, []
+    if graph.num_edges == 0:
+        return 1, [(v,) for v in range(n)]
+    adj = [set(graph.neighbors(v).tolist()) for v in range(n)]
+    # omega is at least 2 here; cap the search by degeneracy-style bound
+    max_possible = int(graph.degrees.max()) + 1
+    for size in range(min(max_possible, n), 1, -1):
+        hits = [
+            combo
+            for combo in combinations(range(n), size)
+            if all(b in adj[a] for a, b in combinations(combo, 2))
+        ]
+        if hits:
+            return size, hits
+    return 2, []  # unreachable: any edge is a 2-clique
+
+

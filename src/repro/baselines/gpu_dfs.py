@@ -1,0 +1,208 @@
+"""Warp-parallel depth-first GPU baseline (the related-work approach).
+
+The paper motivates its breadth-first design by the weaknesses of
+depth-first GPU traversals (Sections II-C, III): a coarse-grained
+*warp-parallel* DFS assigns each warp one subtree, with the 32 lanes
+cooperating on candidate filtering at each node. That layout avoids
+per-thread divergence but suffers from
+
+* **insufficient parallel work** -- only ``#active subtrees`` warps
+  run at once, far below device occupancy for most of the search;
+* **workload imbalance** -- subtree sizes are wildly skewed, so the
+  kernel's critical path is the single largest subtree;
+* **lane under-utilisation** -- when the candidate set is shorter
+  than a warp, lanes idle (Jenkins et al.; VanCompernolle et al.);
+* **stale bounds** -- warps launch concurrently, so every subtree
+  starts from the *initial* lower bound; the incumbent improvements a
+  sequential DFS exploits arrive too late to prune (Jenkins et al.'s
+  core complaint about backtracking on GPUs).
+
+This module implements that design on the simulated device so the
+claim is *measurable* here: one root subtree per warp, per-node cost
+``ceil(|P| / warp_size)`` lockstep steps for filtering plus the
+colouring bound, all charged as a single kernel whose per-"thread"
+costs are per-subtree serial costs. Compare with the breadth-first
+solver in ``benchmarks/bench_baseline_gpu_dfs.py``.
+
+The search logic reuses the exact branch & bound of
+:mod:`repro.baselines.pmc` (so results are exact); only the cost
+accounting differs -- which is precisely the point: same work, wrong
+shape for the machine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..graph.kcore import core_numbers
+from ..gpusim.device import Device
+from .pmc import _color_sort, _OpCounter, _words
+
+__all__ = ["GPUDFSResult", "gpu_dfs_max_clique"]
+
+#: lockstep steps of per-node control flow (ballots, bound checks,
+#: stack management) -- serial work the 32 lanes cannot share; this is
+#: the overhead Jenkins et al. identify as intrinsic to backtracking
+#: on SIMT hardware
+NODE_CONTROL_STEPS = 16.0
+
+
+@dataclass
+class GPUDFSResult:
+    """Outcome of the warp-parallel DFS baseline run."""
+
+    clique_number: int
+    clique: np.ndarray
+    model_time_s: float
+    wall_time_s: float
+    subtree_costs: np.ndarray  # per-root lockstep step counts
+    warps_used: int
+    nodes_explored: int
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean subtree cost -- the workload-imbalance factor."""
+        c = self.subtree_costs
+        if c.size == 0 or c.mean() == 0:
+            return 1.0
+        return float(c.max() / c.mean())
+
+
+def gpu_dfs_max_clique(
+    graph: CSRGraph,
+    device: Optional[Device] = None,
+    lower_bound: int = 1,
+) -> GPUDFSResult:
+    """Find one maximum clique with a warp-parallel DFS on the device.
+
+    Each root vertex's subtree is one warp's serial work; per subtree
+    node the warp spends ``ceil(|P|/32)`` lockstep steps intersecting
+    the candidate set plus the colour-sort steps. The whole search is
+    charged as one device kernel with a *warp-granular* cost array, so
+    the device model's latency bound exposes the imbalance.
+    """
+    t0 = time.perf_counter()
+    if device is None:
+        device = Device()
+    n = graph.num_vertices
+    if n == 0:
+        return GPUDFSResult(
+            0, np.zeros(0, np.int32), 0.0, 0.0, np.zeros(0), 0, 0
+        )
+    if graph.num_edges == 0:
+        device.launch(1.0, n_threads=n, name="gpu_dfs")
+        return GPUDFSResult(
+            1, np.zeros(1, np.int32), device.model_time_s,
+            time.perf_counter() - t0, np.zeros(n), n, 0,
+        )
+
+    core = core_numbers(graph, device)
+    warp = device.spec.warp_size
+    order = np.argsort(core, kind="stable")
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n)
+
+    # all warps launch together: every subtree prunes against the
+    # INITIAL bound only -- improvements cannot propagate mid-kernel
+    lb0 = max(lower_bound, 1)
+    lb = lb0
+    best: List[int] = [int(order[-1])]
+    subtree_costs: List[float] = []
+    counter = _OpCounter()
+    total_nodes = 0
+
+    for v in order.tolist():
+        if core[v] + 1 <= lb0:
+            continue
+        nbrs = graph.neighbors(v)
+        cand = nbrs[(pos[nbrs] > pos[v]) & (core[nbrs] >= lb0)]
+        if cand.size < lb0:
+            continue
+        counter.nodes = 0
+        steps = _warp_dfs_root(graph, v, cand, lb0, warp, counter)
+        total_nodes += counter.nodes
+        size, members = steps[1], steps[2]
+        subtree_costs.append(steps[0])
+        if size > lb and members:
+            lb = size
+            best = members
+
+    # the whole sweep is one kernel: each subtree is one warp's serial
+    # chain, expanded to warp-size lanes of identical (lockstep) cost
+    costs = np.asarray(subtree_costs, dtype=np.float64)
+    if costs.size:
+        lane_costs = np.repeat(costs, warp)
+        device.launch(lane_costs, name="gpu_dfs")
+
+    return GPUDFSResult(
+        clique_number=lb,
+        clique=np.asarray(sorted(best), dtype=np.int32),
+        model_time_s=device.model_time_s,
+        wall_time_s=time.perf_counter() - t0,
+        subtree_costs=costs,
+        warps_used=costs.size,
+        nodes_explored=total_nodes,
+    )
+
+
+def _warp_dfs_root(
+    graph: CSRGraph,
+    v: int,
+    cand: np.ndarray,
+    lb: int,
+    warp: int,
+    counter: _OpCounter,
+) -> Tuple[float, int, List[int]]:
+    """One warp's subtree: returns (lockstep steps, best size, members)."""
+    m = cand.size
+    local = {int(u): i for i, u in enumerate(cand)}
+    adj = [0] * m
+    build_steps = 0.0
+    for i, u in enumerate(cand.tolist()):
+        row = graph.neighbors(u)
+        # the warp builds the subgraph cooperatively: ceil(deg/warp)
+        build_steps += -(-row.size // warp)
+        mask = 0
+        for w in row.tolist():
+            j = local.get(w)
+            if j is not None:
+                mask |= 1 << j
+        adj[i] = mask
+
+    words = _words(m)
+    lane_words = -(-m // warp)  # candidate words processed per step
+    steps = build_steps
+    best_size = lb
+    best_members: List[int] = []
+    stack: List[int] = []
+
+    def expand(P: int, size: int) -> None:
+        nonlocal steps, best_size, best_members
+        counter.nodes += 1
+        steps += NODE_CONTROL_STEPS
+        order, colors = _color_sort(P, adj, words, counter)
+        # colour sort: each colour class is one pass over the candidates
+        steps += max(colors[-1] if colors else 1, 1) * lane_words
+        for i in range(len(order) - 1, -1, -1):
+            u = order[i]
+            if size + colors[i] <= best_size:
+                return
+            P2 = P & adj[u]
+            steps += lane_words  # warp-cooperative intersection
+            stack.append(u)
+            if P2:
+                expand(P2, size + 1)
+            elif size + 1 > best_size:
+                best_size = size + 1
+                best_members = stack.copy()
+            stack.pop()
+            P &= ~(1 << u)
+
+    expand((1 << m) - 1, 1)
+    members = [v] + [int(cand[i]) for i in best_members] if best_members else []
+    return steps, (best_size if members else lb), members

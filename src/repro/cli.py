@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+::
+
+    python -m repro solve GRAPH [options]     # find/enumerate maximum cliques
+    python -m repro info GRAPH                # structural statistics
+    python -m repro datasets [--category C]   # list the surrogate suite
+    python -m repro compare GRAPH             # BF vs PMC vs warp-DFS on one graph
+
+``GRAPH`` is a file (.edges/.txt/.mtx/.clq/...) or the name of a
+surrogate suite dataset (see ``python -m repro datasets``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.config import SolverConfig
+from .core.solver import MaxCliqueSolver
+from .errors import DeviceOOMError, SolveTimeoutError
+from .graph.csr import CSRGraph
+from .graph.io import load_graph
+from .gpusim.device import Device
+from .gpusim.spec import DeviceSpec
+
+__all__ = ["main"]
+
+MIB = 1 << 20
+
+
+def _load(name: str) -> CSRGraph:
+    """Load a graph file, or fall back to a suite dataset name."""
+    if Path(name).exists():
+        return load_graph(name)
+    from .datasets.suite import load as load_dataset
+
+    try:
+        return load_dataset(name)
+    except KeyError:
+        raise SystemExit(
+            f"error: {name!r} is neither a readable file nor a suite "
+            f"dataset (try `python -m repro datasets`)"
+        )
+
+
+def _add_solver_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--heuristic",
+        default="multi-degree",
+        choices=["none", "single-degree", "single-core", "multi-degree", "multi-core"],
+        help="lower-bound heuristic (paper Section IV-A)",
+    )
+    p.add_argument(
+        "--window", default=None,
+        help="window size (int or 'auto') for the windowed search",
+    )
+    p.add_argument(
+        "--window-order", default="natural",
+        choices=["natural", "asc-degree", "desc-degree"],
+    )
+    p.add_argument(
+        "--adaptive", action="store_true",
+        help="recursive windowing: split windows that exceed memory",
+    )
+    p.add_argument(
+        "--memory-mib", type=int, default=192,
+        help="device memory budget in MiB (default 192)",
+    )
+    p.add_argument(
+        "--time-limit", type=float, default=None,
+        help="abort after this many wall seconds",
+    )
+    p.add_argument(
+        "--max-report", type=int, default=20,
+        help="maximum cliques to print (count is always exact)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON result instead of text",
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = _load(args.graph)
+    window = args.window
+    if window is not None and window != "auto":
+        window = int(window)
+    config = SolverConfig(
+        heuristic=args.heuristic,
+        window_size=window,
+        window_order=args.window_order,
+        adaptive_windowing=args.adaptive,
+        time_limit_s=args.time_limit,
+        max_cliques_report=max(args.max_report, 1),
+    )
+    device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
+    if not args.json:
+        print(f"graph: {graph}")
+    try:
+        result = MaxCliqueSolver(graph, config, device).solve()
+    except DeviceOOMError as exc:
+        print(f"OOM: {exc}")
+        print("hint: try --window 1024 (optionally --adaptive), a stronger")
+        print("      --heuristic, or a larger --memory-mib budget")
+        return 2
+    except SolveTimeoutError as exc:
+        print(f"timeout: {exc}")
+        return 3
+    if args.json:
+        import json
+
+        payload = {
+            "clique_number": result.clique_number,
+            "num_maximum_cliques": result.num_maximum_cliques,
+            "cliques": [row.tolist() for row in result.cliques[: args.max_report]],
+            "found_by": result.found_by,
+            "enumerated_all": result.enumerated_all,
+            "heuristic": {
+                "kind": result.heuristic.kind,
+                "lower_bound": result.heuristic.lower_bound,
+            },
+            "model_time_s": result.model_time_s,
+            "wall_time_s": result.wall_time_s,
+            "peak_memory_bytes": result.peak_memory_bytes,
+            "pruned_fraction": result.pruned_fraction,
+            "windows": len(result.windows),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(result.summary())
+    shown = min(args.max_report, len(result.cliques))
+    for row in result.cliques[:shown]:
+        print("  clique:", " ".join(str(int(v)) for v in row))
+    extra = result.num_maximum_cliques - shown
+    if extra > 0 and result.enumerated_all:
+        print(f"  ... and {extra} more maximum clique(s)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .graph.stats import analyze
+
+    graph = _load(args.graph)
+    stats = analyze(graph, triangles=not args.no_triangles)
+    print(f"graph:             {graph}")
+    print(f"max degree:        {stats.max_degree}")
+    print(f"degree p90/p99:    {stats.degree_p90:.0f} / {stats.degree_p99:.0f}")
+    print(f"degeneracy:        {stats.degeneracy} (omega <= {stats.clique_upper_bound})")
+    if not args.no_triangles:
+        print(f"triangles:         {stats.triangles}")
+        print(f"clustering:        {stats.global_clustering:.4f}")
+    print(f"prunability:       {stats.hardness_hint()}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from .datasets.suite import SUITE, load as load_dataset
+
+    for spec in SUITE:
+        if args.category and spec.category != args.category:
+            continue
+        if args.sizes:
+            g = load_dataset(spec.name)
+            print(
+                f"{spec.name:24s} {spec.category:8s} |V|={g.num_vertices:>7d} "
+                f"|E|={g.num_edges:>8d} deg={g.average_degree:6.1f}  {spec.notes}"
+            )
+        else:
+            print(f"{spec.name:24s} {spec.category:8s} {spec.notes}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .baselines.gpu_dfs import gpu_dfs_max_clique
+    from .baselines.pmc import pmc_max_clique
+
+    graph = _load(args.graph)
+    print(f"graph: {graph}")
+    device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
+    try:
+        bf = MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        print(
+            f"breadth-first (this paper): omega={bf.clique_number} "
+            f"x{bf.num_maximum_cliques}  model={bf.model_time_s * 1e3:.3f} ms"
+        )
+        omega = bf.clique_number
+    except DeviceOOMError:
+        print("breadth-first (this paper): OOM at this budget")
+        omega = None
+    pmc = pmc_max_clique(graph)
+    print(
+        f"PMC CPU branch&bound:       omega={pmc.clique_number}  "
+        f"model={pmc.model_time_s * 1e3:.3f} ms"
+    )
+    dfs = gpu_dfs_max_clique(graph, Device(DeviceSpec(memory_bytes=args.memory_mib * MIB)))
+    print(
+        f"warp-parallel GPU DFS:      omega={dfs.clique_number}  "
+        f"model={dfs.model_time_s * 1e3:.3f} ms  "
+        f"(subtree imbalance {dfs.imbalance:.1f}x)"
+    )
+    if omega is not None and not (omega == pmc.clique_number == dfs.clique_number):
+        print("warning: solvers disagree!")
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Maximum clique enumeration on a simulated GPU"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="enumerate maximum cliques")
+    p_solve.add_argument("graph", help="graph file or suite dataset name")
+    _add_solver_args(p_solve)
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_info = sub.add_parser("info", help="structural statistics")
+    p_info.add_argument("graph")
+    p_info.add_argument("--no-triangles", action="store_true")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_data = sub.add_parser("datasets", help="list the surrogate suite")
+    p_data.add_argument("--category", default=None)
+    p_data.add_argument("--sizes", action="store_true", help="also build and show sizes")
+    p_data.set_defaults(func=_cmd_datasets)
+
+    p_cmp = sub.add_parser("compare", help="BF vs PMC vs warp-DFS")
+    p_cmp.add_argument("graph")
+    p_cmp.add_argument("--memory-mib", type=int, default=192)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's core contribution: breadth-first maximum clique enumeration."""
+
+from .bfs import BFSOutcome, bfs_search
+from .clique_counts import clique_profile, count_k_cliques
+from .concurrent import concurrent_windowed_search
+from .clique_list import CliqueList, CliqueListNode
+from .config import Heuristic, RankKey, SolverConfig, SublistOrder, WindowOrder
+from .heuristics import multi_run_greedy, run_heuristic, single_run_greedy
+from .result import (
+    HeuristicReport,
+    LevelStats,
+    MaxCliqueResult,
+    SetupStats,
+    WindowStats,
+)
+from .setup import build_two_clique_list, vertex_upper_bounds
+from .solver import MaxCliqueSolver, find_maximum_cliques
+from .verify import VerificationError, is_clique, is_maximal_clique, verify_result
+from .windowed import WindowedOutcome, auto_window_size, split_windows, windowed_search
+
+__all__ = [
+    "MaxCliqueSolver",
+    "find_maximum_cliques",
+    "SolverConfig",
+    "Heuristic",
+    "RankKey",
+    "SublistOrder",
+    "WindowOrder",
+    "MaxCliqueResult",
+    "HeuristicReport",
+    "SetupStats",
+    "LevelStats",
+    "WindowStats",
+    "CliqueList",
+    "CliqueListNode",
+    "bfs_search",
+    "BFSOutcome",
+    "windowed_search",
+    "WindowedOutcome",
+    "split_windows",
+    "auto_window_size",
+    "run_heuristic",
+    "single_run_greedy",
+    "multi_run_greedy",
+    "build_two_clique_list",
+    "vertex_upper_bounds",
+    "verify_result",
+    "is_clique",
+    "is_maximal_clique",
+    "VerificationError",
+    "clique_profile",
+    "count_k_cliques",
+    "concurrent_windowed_search",
+]

@@ -1,0 +1,227 @@
+"""The clique-list data structure (paper Section IV-B, Figure 1).
+
+A *clique list* is a linked list with one node per level of the
+breadth-first search. Node ``k`` holds every candidate k-clique alive
+at that level as a pair of parallel arrays:
+
+* ``vertexID[i]`` -- the newest vertex of candidate ``i``;
+* ``sublistID[i]`` -- the index in the *previous* node where the
+  candidate's parent (k-1)-clique is stored.
+
+The root node is special: it packs the first two levels of the search
+tree, storing the 2-cliques (oriented edges) with ``sublistID``
+holding the *source vertex id* rather than a parent index.
+
+Shared prefixes are stored once -- every k-clique extending the same
+(k-1)-clique points at one parent entry -- which is what makes a
+breadth-first traversal memory-feasible at all. The price the paper
+accepts (Section IV-B, Discussion) is that pruned entries cannot be
+deleted, because every later node's ``sublistID`` values would need
+rewriting; we reproduce that behaviour, so peak memory reflects all
+generated candidates.
+
+A *sublist* is a maximal run of entries with equal ``sublistID``:
+siblings generated from the same parent. Threads expanding entry ``i``
+only look at entries *after* ``i`` in the same sublist, which makes
+each clique appear exactly once (as its orientation-sorted vertex
+sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import DeviceStateError
+from ..gpusim.device import Device
+from ..gpusim.memory import DeviceArray
+
+__all__ = ["CliqueListNode", "CliqueList"]
+
+
+@dataclass
+class CliqueListNode:
+    """One level of the clique list.
+
+    Attributes
+    ----------
+    level:
+        The clique size ``k`` of the candidates stored here (the root
+        node has ``level == 2``).
+    vertex:
+        Device array of candidate vertex ids.
+    sublist:
+        Device array of parent indices (root node: source vertex ids).
+    """
+
+    level: int
+    vertex: DeviceArray
+    sublist: DeviceArray
+
+    @property
+    def size(self) -> int:
+        return self.vertex.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.vertex.nbytes + self.sublist.nbytes
+
+    def free(self) -> None:
+        self.vertex.free()
+        self.sublist.free()
+
+
+class CliqueList:
+    """The full linked list of levels for one breadth-first search."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.nodes: List[CliqueListNode] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append_root(self, src: np.ndarray, dst: np.ndarray) -> CliqueListNode:
+        """Install the packed 2-clique root node.
+
+        ``src``/``dst`` are the oriented edges grouped by source;
+        ``dst`` becomes ``vertexID`` and ``src`` becomes ``sublistID``
+        (Figure 1's combined first node).
+        """
+        if self.nodes:
+            raise DeviceStateError("root node already present")
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        vertex_arr = self.device.from_host(
+            np.ascontiguousarray(dst, dtype=np.int32), label="cl2.vertex"
+        )
+        try:
+            sublist_arr = self.device.from_host(
+                np.ascontiguousarray(src, dtype=np.int32), label="cl2.sublist"
+            )
+        except BaseException:
+            vertex_arr.free()
+            raise
+        node = CliqueListNode(level=2, vertex=vertex_arr, sublist=sublist_arr)
+        self.nodes.append(node)
+        return node
+
+    def append_level(
+        self, vertex: np.ndarray, sublist: np.ndarray
+    ) -> CliqueListNode:
+        """Append the next level's candidates (allocates device memory)."""
+        if not self.nodes:
+            raise DeviceStateError("append_root must be called first")
+        if vertex.shape != sublist.shape:
+            raise ValueError("vertex and sublist must have the same shape")
+        k = self.nodes[-1].level + 1
+        vertex_arr = self.device.from_host(
+            np.ascontiguousarray(vertex, dtype=np.int32), label=f"cl{k}.vertex"
+        )
+        try:
+            sublist_arr = self.device.from_host(
+                np.ascontiguousarray(sublist, dtype=np.int32),
+                label=f"cl{k}.sublist",
+            )
+        except BaseException:
+            vertex_arr.free()  # don't leak the first half of the node
+            raise
+        node = CliqueListNode(level=k, vertex=vertex_arr, sublist=sublist_arr)
+        self.nodes.append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> CliqueListNode:
+        """The most recently appended (deepest) node."""
+        if not self.nodes:
+            raise DeviceStateError("clique list is empty")
+        return self.nodes[-1]
+
+    @property
+    def depth(self) -> int:
+        """Clique size represented by the head node (0 when empty)."""
+        return self.nodes[-1].level if self.nodes else 0
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(node.nbytes for node in self.nodes)
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(node.size for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # readout (paper Figure 1 walk)
+    # ------------------------------------------------------------------
+    def read_cliques(
+        self,
+        node_index: int = -1,
+        entries: Optional[np.ndarray] = None,
+        limit: Optional[int] = None,
+    ) -> np.ndarray:
+        """Materialise cliques stored at one node by walking back-pointers.
+
+        Parameters
+        ----------
+        node_index:
+            Which node to read from (default: the head).
+        entries:
+            Indices of entries to read (default: all of them).
+        limit:
+            Optional cap on the number of cliques materialised.
+
+        Returns
+        -------
+        ndarray of shape ``(num_cliques, k)`` with each row's vertices
+        in reverse discovery order (deepest vertex first), exactly the
+        order the Figure 1 walk produces.
+        """
+        if not self.nodes:
+            raise DeviceStateError("clique list is empty")
+        nodes = self.nodes[: len(self.nodes) + 1 + node_index] if node_index < 0 else (
+            self.nodes[: node_index + 1]
+        )
+        if not nodes:
+            raise IndexError("node_index out of range")
+        last = nodes[-1]
+        if entries is None:
+            idx = np.arange(last.size, dtype=np.int64)
+        else:
+            idx = np.asarray(entries, dtype=np.int64)
+        if limit is not None:
+            idx = idx[:limit]
+        k = last.level
+        out = np.empty((idx.size, k), dtype=np.int32)
+        col = 0
+        # interior nodes: vertexID is a clique member, sublistID is the
+        # pointer into the previous node
+        for node in reversed(nodes[1:]):
+            out[:, col] = node.vertex.a[idx]
+            idx = node.sublist.a[idx].astype(np.int64)
+            col += 1
+        # root node: both arrays hold clique members
+        root = nodes[0]
+        out[:, col] = root.vertex.a[idx]
+        out[:, col + 1] = root.sublist.a[idx]
+        return out
+
+    # ------------------------------------------------------------------
+    # lifetime
+    # ------------------------------------------------------------------
+    def free_all(self) -> None:
+        """Release every node's device memory."""
+        for node in self.nodes:
+            node.free()
+        self.nodes.clear()
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(f"k={n.level}:{n.size}" for n in self.nodes)
+        return f"CliqueList([{sizes}])"

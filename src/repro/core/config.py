@@ -1,0 +1,192 @@
+"""Solver configuration.
+
+Every knob the paper evaluates is explicit here: heuristic variant
+(Section IV-A), orientation key (Section IV-C), within-sublist sort
+order (Section IV-C), window size and ordering (Section IV-E), plus
+the optional extensions called out in DESIGN.md (colouring-based
+pre-pruning, Moon-Moser window sizing).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..errors import SolverConfigError
+
+__all__ = [
+    "Heuristic",
+    "RankKey",
+    "SublistOrder",
+    "WindowOrder",
+    "SolverConfig",
+]
+
+
+class Heuristic(enum.Enum):
+    """Greedy lower-bound heuristic variant (paper Section IV-A)."""
+
+    NONE = "none"
+    SINGLE_DEGREE = "single-degree"
+    SINGLE_CORE = "single-core"
+    MULTI_DEGREE = "multi-degree"
+    MULTI_CORE = "multi-core"
+
+    @property
+    def uses_core_numbers(self) -> bool:
+        return self in (Heuristic.SINGLE_CORE, Heuristic.MULTI_CORE)
+
+    @property
+    def is_multi_run(self) -> bool:
+        return self in (Heuristic.MULTI_DEGREE, Heuristic.MULTI_CORE)
+
+
+class RankKey(enum.Enum):
+    """Vertex ranking key for orientation and pre-pruning bounds."""
+
+    DEGREE = "degree"
+    CORE = "core"
+    INDEX = "index"  # ablation: orientation by vertex id
+
+
+class SublistOrder(enum.Enum):
+    """Order of candidate vertices within each 2-clique sublist."""
+
+    DEGREE = "degree"  # ascending degree (paper default, Section IV-C)
+    INDEX = "index"  # natural adjacency order (ablation)
+
+
+class WindowOrder(enum.Enum):
+    """Order in which windowed search visits source-vertex sublists."""
+
+    NATURAL = "natural"  # randomized-id order (paper's baseline)
+    ASC_DEGREE = "asc-degree"
+    DESC_DEGREE = "desc-degree"
+
+
+@dataclass
+class SolverConfig:
+    """Configuration of :class:`repro.core.solver.MaxCliqueSolver`.
+
+    Parameters
+    ----------
+    heuristic:
+        Lower-bound heuristic variant; accepts the enum or its string
+        value (e.g. ``"multi-degree"``).
+    heuristic_runs:
+        Seed count ``h`` for multi-run heuristics; ``None`` means
+        ``h = |V|`` as in the paper's experiments.
+    orientation_key:
+        Key used to orient the edge set (paper: degree).
+    sublist_order:
+        Within-sublist candidate ordering (paper: ascending degree).
+    window_size:
+        ``None`` runs the full breadth-first search; an integer runs
+        the windowed variant with that nominal 2-clique window length;
+        the string ``"auto"`` sizes windows from the Moon-Moser bound
+        (extension, see DESIGN.md section 5).
+    window_order:
+        Sublist visit order for the windowed search.
+    adaptive_windowing:
+        Recursive-windowing extension (paper Section V-C3): windows
+        that exceed device memory split at a sublist boundary and
+        retry, recursively. Implies a windowed search.
+    window_fanout:
+        Concurrent-windows extension (paper Section V-C3): this many
+        windows advance together with merged kernel launches. 1 (the
+        default) is the paper's sequential sweep. Incompatible with
+        ``adaptive_windowing``.
+    enumerate_all:
+        When true (default) enumerate every maximum clique; the
+        windowed search forces this off (it finds one maximum clique,
+        Section IV-E).
+    coloring_preprune:
+        Extension: additionally pre-prune vertices whose neighbourhood
+        colour count + 1 falls below the heuristic bound.
+    early_exit_heuristic:
+        Early termination in the spirit of Algorithm 2 line 36: stop
+        as soon as no surviving branch can exceed the heuristic bound
+        (every count satisfies ``count + k == ω̄``). The paper's
+        literal trigger (total count = ω̄ - k + 1) is unsound -- see
+        ``repro.core.bfs.bfs_search`` -- so the sound variant is
+        implemented. Only valid when not enumerating all maximum
+        cliques.
+    chunk_pairs:
+        Host-side vectorisation chunk (pairs per batch); affects wall
+        time only, never results or model time.
+    max_cliques_report:
+        Cap on the number of maximum cliques materialised into the
+        result (the total count is always exact).
+    time_limit_s:
+        Optional host wall-time limit for the whole solve; exceeding
+        it raises :class:`~repro.errors.SolveTimeoutError`.
+    seed:
+        Seed for the randomised choices (window shuffling).
+    """
+
+    heuristic: Union[Heuristic, str] = Heuristic.MULTI_DEGREE
+    heuristic_runs: Optional[int] = None
+    orientation_key: Union[RankKey, str] = RankKey.DEGREE
+    sublist_order: Union[SublistOrder, str] = SublistOrder.DEGREE
+    window_size: Union[None, int, str] = None
+    window_order: Union[WindowOrder, str] = WindowOrder.NATURAL
+    adaptive_windowing: bool = False
+    window_fanout: int = 1
+    enumerate_all: bool = True
+    coloring_preprune: bool = False
+    early_exit_heuristic: bool = False
+    chunk_pairs: int = 1 << 22
+    max_cliques_report: int = 10_000
+    time_limit_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.heuristic, str):
+            self.heuristic = Heuristic(self.heuristic)
+        if isinstance(self.orientation_key, str):
+            self.orientation_key = RankKey(self.orientation_key)
+        if isinstance(self.sublist_order, str):
+            self.sublist_order = SublistOrder(self.sublist_order)
+        if isinstance(self.window_order, str):
+            self.window_order = WindowOrder(self.window_order)
+        if isinstance(self.window_size, str) and self.window_size != "auto":
+            raise SolverConfigError(
+                f"window_size must be None, an int, or 'auto'; got {self.window_size!r}"
+            )
+        if isinstance(self.window_size, int) and self.window_size <= 0:
+            raise SolverConfigError("window_size must be positive")
+        if self.heuristic_runs is not None and self.heuristic_runs <= 0:
+            raise SolverConfigError("heuristic_runs must be positive")
+        if self.chunk_pairs <= 0:
+            raise SolverConfigError("chunk_pairs must be positive")
+        if self.max_cliques_report <= 0:
+            raise SolverConfigError("max_cliques_report must be positive")
+        if self.time_limit_s is not None and self.time_limit_s <= 0:
+            raise SolverConfigError("time_limit_s must be positive")
+        if self.adaptive_windowing and self.window_size is None:
+            raise SolverConfigError(
+                "adaptive_windowing requires a windowed search; set window_size"
+            )
+        if self.window_fanout < 1:
+            raise SolverConfigError("window_fanout must be at least 1")
+        if self.window_fanout > 1 and self.window_size is None:
+            raise SolverConfigError(
+                "window_fanout requires a windowed search; set window_size"
+            )
+        if self.window_fanout > 1 and self.adaptive_windowing:
+            raise SolverConfigError(
+                "window_fanout and adaptive_windowing are mutually exclusive"
+            )
+        if self.window_size is not None and self.enumerate_all:
+            # the windowed search solves for a single maximum clique
+            self.enumerate_all = False
+        if self.early_exit_heuristic and self.enumerate_all:
+            raise SolverConfigError(
+                "early_exit_heuristic would miss co-maximum cliques; "
+                "disable enumerate_all to use it"
+            )
+
+    @property
+    def windowed(self) -> bool:
+        return self.window_size is not None

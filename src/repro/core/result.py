@@ -1,0 +1,165 @@
+"""Result and statistics types returned by the solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gpusim.device import DeviceStats
+
+__all__ = [
+    "HeuristicReport",
+    "SetupStats",
+    "LevelStats",
+    "WindowStats",
+    "MaxCliqueResult",
+]
+
+
+@dataclass
+class HeuristicReport:
+    """Outcome of the greedy lower-bound heuristic.
+
+    Attributes
+    ----------
+    kind:
+        String value of the heuristic variant that ran.
+    lower_bound:
+        Clique size found (ω̄); 1 when no heuristic ran on a non-empty
+        graph.
+    clique:
+        The vertices of the clique the heuristic found (empty when no
+        heuristic ran).
+    model_time_s / wall_time_s:
+        Device model time and host wall time spent in the heuristic,
+        including any k-core decomposition it required.
+    """
+
+    kind: str
+    lower_bound: int
+    clique: np.ndarray
+    model_time_s: float = 0.0
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class SetupStats:
+    """Statistics from forming the 2-clique list (paper Section IV-C)."""
+
+    total_edges: int = 0
+    prepruned_vertices: int = 0
+    pruned_sublists: int = 0
+    pruned_2cliques: int = 0
+    kept_2cliques: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.total_edges == 0:
+            return 0.0
+        return self.pruned_2cliques / self.total_edges
+
+
+@dataclass
+class LevelStats:
+    """Per-level candidate accounting of the breadth-first search."""
+
+    level: int
+    candidates: int
+    generated: int
+    pruned: int
+
+
+@dataclass
+class WindowStats:
+    """Per-window accounting of the windowed search."""
+
+    index: int
+    start: int
+    end: int
+    peak_bytes: int
+    best_clique_size: int
+    levels: int
+
+
+@dataclass
+class MaxCliqueResult:
+    """Everything a solve produces.
+
+    Attributes
+    ----------
+    clique_number:
+        ω(G), the exact maximum clique size.
+    num_maximum_cliques:
+        Exact count of maximum cliques (1 when only one was solved
+        for, i.e. windowed mode).
+    cliques:
+        Materialised maximum cliques, shape ``(min(count, cap), ω)``;
+        each row's vertex set is a maximum clique.
+    found_by:
+        ``"search"``, ``"heuristic"`` (setup proved the heuristic
+        clique unique), or ``"trivial"`` (edgeless / tiny graphs).
+    enumerated_all:
+        Whether every maximum clique was enumerated.
+    heuristic:
+        Lower-bound report.
+    setup / levels / windows:
+        Phase statistics.
+    candidates_stored:
+        Total clique-list entries ever stored (memory pressure
+        metric).
+    candidates_pruned:
+        Candidates eliminated by ω̄-pruning across setup + search.
+    peak_memory_bytes:
+        Device memory high-water mark during the solve.
+    search_memory_bytes:
+        Clique-list-only memory: total candidate storage for the full
+        breadth-first search (nothing is ever deleted), or the largest
+        single-window clique list for the windowed search. This is the
+        quantity Figure 6 compares.
+    device_stats:
+        Final device counter snapshot.
+    model_time_s / wall_time_s:
+        Total deterministic model time and host wall time.
+    """
+
+    clique_number: int
+    num_maximum_cliques: int
+    cliques: np.ndarray
+    found_by: str
+    enumerated_all: bool
+    heuristic: HeuristicReport
+    setup: SetupStats = field(default_factory=SetupStats)
+    levels: List[LevelStats] = field(default_factory=list)
+    windows: List[WindowStats] = field(default_factory=list)
+    candidates_stored: int = 0
+    candidates_pruned: int = 0
+    peak_memory_bytes: int = 0
+    search_memory_bytes: int = 0
+    device_stats: Optional[DeviceStats] = None
+    model_time_s: float = 0.0
+    wall_time_s: float = 0.0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of generated candidates eliminated by pruning."""
+        total = self.candidates_pruned + self.candidates_stored
+        if total == 0:
+            return 0.0
+        return self.candidates_pruned / total
+
+    def throughput_eps(self, num_edges: int) -> float:
+        """Edges processed per second of model time (paper Figs. 2-3)."""
+        if self.model_time_s <= 0:
+            return float("inf")
+        return num_edges / self.model_time_s
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"omega={self.clique_number} x{self.num_maximum_cliques} "
+            f"(by {self.found_by}), peak_mem={self.peak_memory_bytes / 2**20:.2f} MiB, "
+            f"model_time={self.model_time_s * 1e3:.3f} ms, "
+            f"pruned={self.pruned_fraction:.1%}"
+        )

@@ -1,0 +1,130 @@
+"""Result verification utilities.
+
+Maximum clique is NP-hard, but *checking* a claimed answer is cheap.
+These helpers validate solver output against the input graph --
+useful in tests, in examples, and for downstream users who want a
+certificate with their answer:
+
+* every reported clique is a real clique of the claimed size;
+* the claimed ω is consistent (no reported clique is larger, each is
+  maximal -- no vertex extends it);
+* an optional cross-check against an independent exact solver for
+  small graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .result import MaxCliqueResult
+
+__all__ = ["is_clique", "is_maximal_clique", "verify_result", "VerificationError"]
+
+
+class VerificationError(AssertionError):
+    """A reported result failed verification against the graph."""
+
+
+def is_clique(graph: CSRGraph, vertices: Iterable[int]) -> bool:
+    """True iff ``vertices`` are distinct and pairwise adjacent."""
+    verts = [int(v) for v in vertices]
+    if len(set(verts)) != len(verts):
+        return False
+    if any(v < 0 or v >= graph.num_vertices for v in verts):
+        return False
+    if len(verts) <= 1:
+        return True
+    arr = np.asarray(verts, dtype=np.int64)
+    iu, iv = np.triu_indices(arr.size, k=1)
+    return bool(graph.batch_has_edge(arr[iu], arr[iv]).all())
+
+
+def is_maximal_clique(graph: CSRGraph, vertices: Iterable[int]) -> bool:
+    """True iff ``vertices`` form a clique no vertex can extend."""
+    verts = [int(v) for v in vertices]
+    if not is_clique(graph, verts):
+        return False
+    if not verts:
+        return graph.num_vertices == 0
+    # candidates able to extend: common neighbours of all members
+    common = set(graph.neighbors(verts[0]).tolist())
+    for v in verts[1:]:
+        common &= set(graph.neighbors(v).tolist())
+    common -= set(verts)
+    return not common
+
+
+def verify_result(
+    graph: CSRGraph,
+    result: MaxCliqueResult,
+    cross_check: bool = False,
+    cross_check_limit: int = 60,
+) -> None:
+    """Validate a solver result; raises :class:`VerificationError`.
+
+    Checks performed:
+
+    1. every materialised clique has exactly ``clique_number``
+       distinct, pairwise-adjacent vertices;
+    2. every materialised clique is *maximal* (a maximum clique cannot
+       be extendable);
+    3. rows are distinct vertex sets;
+    4. the heuristic bound does not exceed ω;
+    5. with ``cross_check`` (small graphs only), ω and -- when
+       enumeration was requested -- the full clique set match an
+       independent Bron-Kerbosch run.
+    """
+    omega = result.clique_number
+    if graph.num_vertices == 0:
+        if omega != 0:
+            raise VerificationError("empty graph must have omega == 0")
+        return
+    if omega < 1:
+        raise VerificationError(f"non-empty graph with omega == {omega}")
+
+    rows = result.cliques
+    if rows.size and rows.shape[1] != omega:
+        raise VerificationError(
+            f"reported cliques have {rows.shape[1]} vertices, omega is {omega}"
+        )
+    seen = set()
+    for row in rows:
+        key = frozenset(int(v) for v in row)
+        if len(key) != omega:
+            raise VerificationError(f"duplicate vertices in clique {row}")
+        if key in seen:
+            raise VerificationError(f"clique {sorted(key)} reported twice")
+        seen.add(key)
+        if not is_clique(graph, row):
+            raise VerificationError(f"{sorted(key)} is not a clique")
+        if not is_maximal_clique(graph, row):
+            raise VerificationError(
+                f"{sorted(key)} is extendable -- cannot be maximum"
+            )
+
+    if result.heuristic.lower_bound > omega:
+        raise VerificationError(
+            f"heuristic bound {result.heuristic.lower_bound} exceeds omega {omega}"
+        )
+
+    if cross_check:
+        if graph.num_vertices > cross_check_limit:
+            raise VerificationError(
+                f"cross_check limited to {cross_check_limit} vertices"
+            )
+        from ..baselines.bron_kerbosch import maximum_cliques_via_bk
+
+        ref_omega, ref_cliques = maximum_cliques_via_bk(graph)
+        if omega != ref_omega:
+            raise VerificationError(
+                f"omega {omega} disagrees with Bron-Kerbosch {ref_omega}"
+            )
+        if result.enumerated_all:
+            if result.num_maximum_cliques != len(ref_cliques):
+                raise VerificationError(
+                    f"enumerated {result.num_maximum_cliques} maximum cliques, "
+                    f"Bron-Kerbosch finds {len(ref_cliques)}"
+                )

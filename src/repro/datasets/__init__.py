@@ -1,0 +1,21 @@
+"""Surrogate dataset suite standing in for the paper's 58 graphs."""
+
+from .suite import (
+    MONSTERS,
+    SUITE,
+    DatasetSpec,
+    categories,
+    iter_suite,
+    load,
+    names,
+)
+
+__all__ = [
+    "SUITE",
+    "MONSTERS",
+    "DatasetSpec",
+    "load",
+    "names",
+    "categories",
+    "iter_suite",
+]

@@ -1,0 +1,70 @@
+"""Exception types shared across the :mod:`repro` package.
+
+The simulated device intentionally mirrors the failure modes of a real
+GPU run: exhausting the configured device-memory budget raises
+:class:`DeviceOOMError` (never a wrong answer), and malformed graph
+inputs raise :class:`GraphFormatError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DeviceOOMError",
+    "DeviceStateError",
+    "GraphFormatError",
+    "SolverConfigError",
+    "SolveTimeoutError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DeviceOOMError(ReproError, MemoryError):
+    """Raised when an allocation would exceed the device memory budget.
+
+    Mirrors ``cudaErrorMemoryAllocation`` on a real device. The paper's
+    evaluation (Table I, Figure 6) counts runs that end in this state;
+    the experiment harness catches it and records an OOM outcome.
+
+    Attributes
+    ----------
+    requested:
+        Bytes requested by the failing allocation.
+    in_use:
+        Bytes already allocated on the device at the time of failure.
+    budget:
+        Total device memory budget in bytes.
+    """
+
+    def __init__(self, requested: int, in_use: int, budget: int) -> None:
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.budget = int(budget)
+        super().__init__(
+            f"device OOM: requested {self.requested} B with {self.in_use} B "
+            f"in use of a {self.budget} B budget"
+        )
+
+
+class DeviceStateError(ReproError, RuntimeError):
+    """Raised on invalid device operations (e.g. use-after-free)."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """Raised when a graph file or edge list cannot be parsed/validated."""
+
+
+class SolverConfigError(ReproError, ValueError):
+    """Raised when a :class:`repro.core.config.SolverConfig` is invalid."""
+
+
+class SolveTimeoutError(ReproError, TimeoutError):
+    """Raised when a solve exceeds its configured host wall-time limit.
+
+    The experiment harness records these runs as ``timeout`` outcomes,
+    mirroring the abandoned pathological runs of the paper's
+    evaluation.
+    """

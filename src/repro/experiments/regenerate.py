@@ -1,0 +1,141 @@
+"""Full-suite regeneration of every table and figure.
+
+Usage::
+
+    python -m repro.experiments.regenerate [--max-edges N] [--timeout S]
+                                           [--out FILE]
+
+Runs the complete evaluation (all 58 surrogate datasets by default)
+and prints — and optionally writes — the regenerated Table I, Table
+II, and Figures 2–6 data, with the qualitative checkpoints the paper
+reports. This is the run EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, TextIO
+
+from .figures import figure2, figure3, figure4, figure5, figure6
+from .tables import table1, table2
+
+
+def regenerate(
+    max_edges: Optional[int] = None,
+    timeout_s: float = 90.0,
+    out: TextIO = sys.stdout,
+    ablations: bool = False,
+) -> None:
+    """Run everything and stream the report to ``out``."""
+    t0 = time.perf_counter()
+
+    def emit(text: str = "") -> None:
+        print(text, file=out, flush=True)
+
+    def stamp(label: str) -> None:
+        emit(f"[{label} done at {time.perf_counter() - t0:.0f}s]")
+        emit()
+
+    emit("=" * 72)
+    emit("Full evaluation regeneration")
+    emit(f"  max_edges={max_edges}  timeout_s={timeout_s}")
+    emit("=" * 72)
+    emit()
+
+    t1 = table1(max_edges=max_edges, timeout_s=timeout_s)
+    emit(t1.render())
+    stamp("Table I")
+
+    t2 = table2(max_edges=max_edges, timeout_s=timeout_s)
+    emit(t2.render())
+    stamp("Table II")
+
+    f2 = figure2(max_edges=max_edges, timeout_s=timeout_s)
+    emit("Figure 2 (throughput vs average degree)")
+    emit(f2.render())
+    stamp("Figure 2")
+
+    f3 = figure3(max_edges=max_edges, timeout_s=timeout_s)
+    emit("Figure 3 (throughput vs |E|)")
+    emit(f3.render())
+    stamp("Figure 3")
+
+    f4 = figure4(max_edges=max_edges, timeout_s=timeout_s)
+    emit("Figure 4 (speedup over PMC)")
+    emit(f4.render())
+    stamp("Figure 4")
+
+    f5 = figure5(max_edges=max_edges, timeout_s=timeout_s)
+    emit("Figure 5 (heuristic runtime / pruning quality)")
+    emit(f5.render())
+    stamp("Figure 5")
+
+    f6 = figure6(max_edges=max_edges, timeout_s=timeout_s)
+    emit("Figure 6 (windowed memory / runtime)")
+    emit(f6.render())
+    stamp("Figure 6")
+
+    if ablations:
+        from .ablations import (
+            coloring_preprune_ablation,
+            orientation_ablation,
+            sublist_order_ablation,
+            window_fanout_ablation,
+        )
+
+        for fn in (
+            orientation_ablation,
+            sublist_order_ablation,
+            coloring_preprune_ablation,
+            window_fanout_ablation,
+        ):
+            result = fn(max_edges=max_edges, timeout_s=timeout_s)
+            emit(result.render())
+            stamp(result.name)
+
+    emit(f"total regeneration time: {time.perf_counter() - t0:.0f}s")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table and figure of the paper."
+    )
+    parser.add_argument(
+        "--max-edges", type=int, default=None,
+        help="skip suite graphs with more undirected edges than this",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=90.0,
+        help="per-run wall-time limit in seconds (default 90)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--ablations", action="store_true",
+        help="append the DESIGN.md section-5 ablation studies",
+    )
+    args = parser.parse_args(argv)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+
+            class Tee:
+                def write(self, text: str) -> None:
+                    sys.stdout.write(text)
+                    fh.write(text)
+
+                def flush(self) -> None:
+                    sys.stdout.flush()
+                    fh.flush()
+
+            regenerate(args.max_edges, args.timeout, out=Tee(), ablations=args.ablations)
+    else:
+        regenerate(args.max_edges, args.timeout, ablations=args.ablations)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

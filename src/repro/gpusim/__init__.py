@@ -1,0 +1,25 @@
+"""Simulated SIMT device substrate.
+
+This package stands in for the CUDA/CUB stack the paper runs on: a
+:class:`~repro.gpusim.device.Device` with a budgeted memory pool, a
+warp-lockstep kernel cost model, and CUB-style data-parallel
+primitives. See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from .device import Device, DeviceStats, KernelProfile
+from .memory import DeviceArray, MemoryPool
+from .spec import A100_LIKE, EPYC_LIKE, CPUSpec, DeviceSpec
+from . import primitives
+
+__all__ = [
+    "Device",
+    "DeviceStats",
+    "KernelProfile",
+    "DeviceArray",
+    "MemoryPool",
+    "DeviceSpec",
+    "CPUSpec",
+    "A100_LIKE",
+    "EPYC_LIKE",
+    "primitives",
+]

@@ -1,0 +1,66 @@
+"""Degree orientation of the edge set.
+
+The 2-clique list keeps exactly one directed edge per undirected edge
+(Section IV-C). The paper orients *by degree*: from each reciprocal
+pair, keep the direction whose source has lower degree, breaking ties
+by index. This makes the initial sublists (one per source vertex)
+shorter on average, so more of them fall below the heuristic lower
+bound ω̄ and are pruned before the search even starts.
+
+Orientation by a strictly increasing key of ``(rank[v], v)`` is also a
+topological order of the resulting DAG, which is what guarantees each
+clique is enumerated exactly once (as its sorted vertex sequence).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["orient_edges", "orientation_rank"]
+
+
+def orientation_rank(
+    graph: CSRGraph, key: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Total-order rank of each vertex used for orientation.
+
+    ``key`` defaults to the degree; ties are broken by vertex index so
+    the order is strict. Returns an ``int64`` array where
+    ``rank[u] < rank[v]`` means edge (u, v) is kept as u -> v.
+    """
+    n = graph.num_vertices
+    if key is None:
+        key = graph.degrees
+    key = np.asarray(key)
+    if key.shape != (n,):
+        raise ValueError(f"key must have shape ({n},)")
+    order = np.lexsort((np.arange(n), key))
+    rank = np.empty(n, dtype=np.int64)
+    rank[order] = np.arange(n)
+    return rank
+
+
+def orient_edges(
+    graph: CSRGraph, key: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One directed edge per undirected edge, low-rank source first.
+
+    Returns ``(src, dst)`` arrays grouped by source vertex (ascending)
+    with each group's destinations in ascending vertex id -- the
+    natural order in which the 2-clique list is laid out.
+    """
+    rank = orientation_rank(graph, key)
+    n = graph.num_vertices
+    rows = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.row_offsets)
+    )
+    cols = graph.col_indices.astype(np.int64)
+    keep = rank[rows] < rank[cols]
+    src, dst = rows[keep], cols[keep]
+    # group by source (stable: destinations stay ascending per group)
+    order = np.argsort(src, kind="stable")
+    return src[order].astype(np.int32), dst[order].astype(np.int32)

@@ -1,0 +1,154 @@
+"""Structural graph statistics.
+
+The paper's analysis pivots on a handful of structural quantities:
+average degree (Figures 2/4), edge count (Figure 3), degeneracy (the
+k-core clique bound), and how the heuristic bound compares to the
+average degree ("graphs where the average degree is close to or larger
+than the maximum clique size are difficult to prune", Section V-B2).
+This module computes those diagnostics -- plus triangle counts and
+clustering, which predict candidate-set expansion -- in one
+vectorised pass, for use by the harness, the auto window sizer, and
+anyone triaging a new dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .csr import CSRGraph
+from .kcore import core_numbers
+from .orientation import orient_edges
+
+__all__ = ["GraphStats", "analyze", "triangle_count", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """One-pass structural summary of a graph.
+
+    Attributes
+    ----------
+    num_vertices / num_edges / average_degree / max_degree:
+        Basic size figures.
+    degeneracy:
+        Maximum core number; ``degeneracy + 1`` upper-bounds ω.
+    triangles:
+        Total triangle count.
+    global_clustering:
+        Transitivity: ``3 * triangles / number of wedges``.
+    degree_p90 / degree_p99:
+        Degree distribution tail percentiles (hub detection).
+    """
+
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_degree: int
+    degeneracy: int
+    triangles: int
+    global_clustering: float
+    degree_p90: float
+    degree_p99: float
+
+    @property
+    def clique_upper_bound(self) -> int:
+        """ω <= degeneracy + 1."""
+        return self.degeneracy + 1 if self.num_edges else min(self.num_vertices, 1)
+
+    def hardness_hint(self, omega_estimate: Optional[int] = None) -> str:
+        """The paper's prunability triage (Section V-B2).
+
+        A graph is "hard to prune" when the average degree approaches
+        or exceeds the (estimated) clique number, because every upper
+        bound used in pruning is degree-derived.
+        """
+        bound = omega_estimate if omega_estimate else self.clique_upper_bound
+        if bound <= 0:
+            return "trivial"
+        ratio = self.average_degree / bound
+        if ratio < 0.75:
+            return "easy-to-prune"
+        if ratio < 2.0:
+            return "moderate"
+        return "hard-to-prune"
+
+
+def triangle_count(graph: CSRGraph, chunk_pairs: int = 1 << 22) -> int:
+    """Exact triangle count via oriented wedge checks.
+
+    Orients edges by degree and, for every oriented path
+    ``u -> v, u -> w`` (v before w in u's list), checks the closing
+    edge -- the standard O(E^{3/2})-ish algorithm, vectorised in
+    chunks.
+    """
+    src, dst = orient_edges(graph)
+    if src.size == 0:
+        return 0
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=graph.num_vertices)
+    counts = counts[counts > 0]
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    total = 0
+    # pairs within each oriented adjacency group
+    tails = np.repeat(ends, counts) - np.arange(src.size) - 1
+    csum = np.cumsum(tails)
+    pos = 0
+    n = src.size
+    while pos < n:
+        base = int(csum[pos - 1]) if pos else 0
+        stop = int(np.searchsorted(csum, base + chunk_pairs, side="right"))
+        stop = max(stop, pos + 1)
+        t = tails[pos:stop]
+        reps = t.astype(np.int64)
+        idx1 = pos + np.repeat(np.arange(t.size, dtype=np.int64), reps)
+        seg_ends = np.cumsum(reps)
+        within = np.arange(int(reps.sum()), dtype=np.int64) - np.repeat(
+            seg_ends - reps, reps
+        )
+        idx2 = idx1 + 1 + within
+        found = graph.batch_has_edge(
+            dst[idx1].astype(np.int64), dst[idx2].astype(np.int64)
+        )
+        total += int(found.sum())
+        pos = stop
+    return total
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices with degree ``d``."""
+    deg = graph.degrees
+    if deg.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(deg)
+
+
+def analyze(graph: CSRGraph, triangles: bool = True) -> GraphStats:
+    """Compute the full :class:`GraphStats` summary.
+
+    ``triangles=False`` skips the (comparatively expensive) triangle
+    pass, reporting 0 triangles/clustering.
+    """
+    deg = graph.degrees
+    n = graph.num_vertices
+    if n == 0:
+        return GraphStats(0, 0, 0.0, 0, 0, 0, 0.0, 0.0, 0.0)
+    tri = triangle_count(graph) if (triangles and graph.num_edges) else 0
+    wedges = float((deg.astype(np.float64) * (deg - 1) / 2).sum())
+    clustering = (3.0 * tri / wedges) if wedges > 0 else 0.0
+    degen = int(core_numbers(graph).max()) if graph.num_edges else 0
+    return GraphStats(
+        num_vertices=n,
+        num_edges=graph.num_edges,
+        average_degree=graph.average_degree,
+        max_degree=graph.max_degree,
+        degeneracy=degen,
+        triangles=tri,
+        global_clustering=clustering,
+        degree_p90=float(np.percentile(deg, 90)) if deg.size else 0.0,
+        degree_p99=float(np.percentile(deg, 99)) if deg.size else 0.0,
+    )

@@ -1,0 +1,37 @@
+"""Brute-force oracle self-tests."""
+
+import pytest
+
+from repro.baselines import brute_force_maximum_cliques
+from repro.graph import from_edge_list
+from repro.graph import generators as gen
+
+from ..conftest import nx_maximum_cliques
+
+
+class TestBruteForce:
+    def test_triangle(self, triangle):
+        omega, cliques = brute_force_maximum_cliques(triangle)
+        assert omega == 3
+        assert cliques == [(0, 1, 2)]
+
+    def test_size_guard(self):
+        g = gen.erdos_renyi(30, 0.2, seed=1)
+        with pytest.raises(ValueError):
+            brute_force_maximum_cliques(g, max_vertices=22)
+
+    def test_empty_and_edgeless(self):
+        assert brute_force_maximum_cliques(from_edge_list([])) == (0, [])
+        omega, cliques = brute_force_maximum_cliques(
+            from_edge_list([], num_vertices=2)
+        )
+        assert omega == 1
+        assert cliques == [(0,), (1,)]
+
+    def test_matches_networkx(self):
+        for seed in range(15):
+            g = gen.erdos_renyi(12, 0.4, seed=seed)
+            omega, cliques = brute_force_maximum_cliques(g)
+            nx_omega, nx_cliques = nx_maximum_cliques(g)
+            assert omega == nx_omega
+            assert {frozenset(c) for c in cliques} == nx_cliques

@@ -1,0 +1,109 @@
+"""PMC baseline tests: exactness, cost accounting, ablations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import maximum_cliques_via_bk, pmc_heuristic, pmc_max_clique
+from repro.graph import core_numbers, from_edge_list
+from repro.graph import generators as gen
+from repro.gpusim.spec import CPUSpec
+
+from ..conftest import assert_is_clique
+
+
+class TestExactness:
+    def test_paper_graph(self, paper_graph):
+        r = pmc_max_clique(paper_graph)
+        assert r.clique_number == 4
+        assert r.clique.tolist() == [1, 2, 3, 4]
+
+    def test_complete_graph(self):
+        r = pmc_max_clique(gen.complete_graph(8))
+        assert r.clique_number == 8
+
+    def test_empty_and_edgeless(self):
+        assert pmc_max_clique(from_edge_list([])).clique_number == 0
+        assert pmc_max_clique(from_edge_list([], num_vertices=3)).clique_number == 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_bron_kerbosch(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 35))
+        g = gen.erdos_renyi(n, float(rng.uniform(0.05, 0.7)), seed=seed)
+        omega, _ = maximum_cliques_via_bk(g)
+        r = pmc_max_clique(g)
+        assert r.clique_number == omega
+        if g.num_edges:
+            assert_is_clique(g, r.clique)
+            assert r.clique.size == omega
+
+    @pytest.mark.parametrize("use_heuristic", [True, False])
+    @pytest.mark.parametrize("use_coloring", [True, False])
+    def test_ablations_stay_exact(self, use_heuristic, use_coloring):
+        for seed in range(6):
+            g = gen.erdos_renyi(25, 0.4, seed=seed)
+            omega, _ = maximum_cliques_via_bk(g)
+            r = pmc_max_clique(
+                g, use_heuristic=use_heuristic, use_coloring=use_coloring
+            )
+            assert r.clique_number == omega
+
+    def test_coloring_prunes_nodes(self):
+        g = gen.caveman_social(3, 30, p_in=0.5, seed=1)
+        with_c = pmc_max_clique(g, use_coloring=True)
+        without = pmc_max_clique(g, use_coloring=False)
+        assert with_c.clique_number == without.clique_number
+        assert with_c.nodes_explored <= without.nodes_explored
+
+
+class TestHeuristic:
+    def test_heuristic_is_sound(self):
+        for seed in range(10):
+            g = gen.erdos_renyi(30, 0.4, seed=seed)
+            if g.num_edges == 0:
+                continue
+            core = core_numbers(g)
+            lb, clique = pmc_heuristic(g, core)
+            omega, _ = maximum_cliques_via_bk(g)
+            assert lb <= omega
+            assert len(clique) == lb
+            assert_is_clique(g, clique)
+
+    def test_heuristic_finds_planted(self):
+        g = gen.planted_clique(300, 12, avg_degree=3.0, seed=2)
+        lb, _ = pmc_heuristic(g, core_numbers(g))
+        assert lb == 12
+
+
+class TestCostModel:
+    def test_ops_counted(self):
+        g = gen.erdos_renyi(40, 0.4, seed=3)
+        r = pmc_max_clique(g)
+        assert r.alu_ops > 0
+        assert r.mem_ops > 0
+        assert r.model_time_s > 0
+
+    def test_more_threads_faster_model_time(self):
+        g = gen.erdos_renyi(40, 0.4, seed=4)
+        t1 = pmc_max_clique(g, threads=1).model_time_s
+        t24 = pmc_max_clique(g, threads=24).model_time_s
+        assert t24 < t1
+
+    def test_custom_spec(self):
+        g = gen.erdos_renyi(30, 0.4, seed=5)
+        slow = CPUSpec(cores=1, clock_hz=1e6)
+        fast = CPUSpec(cores=24, clock_hz=1e10)
+        assert (
+            pmc_max_clique(g, spec=slow).model_time_s
+            > pmc_max_clique(g, spec=fast).model_time_s
+        )
+
+    def test_deterministic(self):
+        g = gen.erdos_renyi(30, 0.4, seed=6)
+        a = pmc_max_clique(g)
+        b = pmc_max_clique(g)
+        assert a.model_time_s == b.model_time_s
+        assert a.nodes_explored == b.nodes_explored

@@ -1,0 +1,91 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceSpec
+from repro.graph import CSRGraph, from_edge_list
+from repro.graph import generators as gen
+
+MIB = 1 << 20
+
+
+@pytest.fixture
+def device() -> Device:
+    """A roomy device for functional tests."""
+    return Device(DeviceSpec(memory_bytes=256 * MIB))
+
+
+@pytest.fixture
+def tiny_device() -> Device:
+    """A severely memory-constrained device for OOM tests."""
+    return Device(DeviceSpec(memory_bytes=64 * 1024))
+
+
+@pytest.fixture
+def paper_graph() -> CSRGraph:
+    """The Figure 1 example graph: K4 on {B,C,D,E} plus A-B, A-C.
+
+    Vertex mapping: A=0, B=1, C=2, D=3, E=4. The unique maximum clique
+    is {B, C, D, E}.
+    """
+    return from_edge_list(
+        [(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4), (0, 1), (0, 2)]
+    )
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return from_edge_list([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> CSRGraph:
+    return from_edge_list([(0, 1), (1, 2), (2, 3)])
+
+
+def random_graph(trial: int, lo: int = 5, hi: int = 40) -> CSRGraph:
+    """Deterministic random test graph #trial."""
+    rng = np.random.default_rng(trial * 7919 + 13)
+    n = int(rng.integers(lo, hi))
+    p = float(rng.uniform(0.05, 0.6))
+    return gen.erdos_renyi(n, p, seed=trial)
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to networkx for oracle comparisons."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    src, dst = graph.to_edge_list()
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+def nx_maximum_cliques(graph: CSRGraph):
+    """(omega, set of frozenset maximum cliques) via networkx."""
+    import networkx as nx
+
+    g = to_networkx(graph)
+    best = 1
+    cliques = set()
+    for c in nx.find_cliques(g):
+        if len(c) > best:
+            best = len(c)
+            cliques = {frozenset(c)}
+        elif len(c) == best:
+            cliques.add(frozenset(c))
+    if best == 1:
+        cliques = {frozenset([v]) for v in range(graph.num_vertices)}
+    return best, cliques
+
+
+def assert_is_clique(graph: CSRGraph, vertices) -> None:
+    verts = [int(v) for v in vertices]
+    assert len(set(verts)) == len(verts), f"duplicate vertices in {verts}"
+    for i, a in enumerate(verts):
+        for b in verts[i + 1 :]:
+            assert graph.has_edge(a, b), f"{a}-{b} missing: {verts} is not a clique"

@@ -1,0 +1,140 @@
+"""Clique-list data structure tests, including the paper's Figure 1 walk."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceStateError
+from repro.core.clique_list import CliqueList
+from repro.gpusim import Device, DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return Device(DeviceSpec())
+
+
+class TestConstruction:
+    def test_root_node_packs_two_levels(self, dev):
+        cl = CliqueList(dev)
+        node = cl.append_root(np.array([0, 0, 1]), np.array([1, 2, 2]))
+        assert node.level == 2
+        assert node.size == 3
+        assert cl.depth == 2
+
+    def test_double_root_rejected(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.array([0]), np.array([1]))
+        with pytest.raises(DeviceStateError):
+            cl.append_root(np.array([0]), np.array([1]))
+
+    def test_level_before_root_rejected(self, dev):
+        cl = CliqueList(dev)
+        with pytest.raises(DeviceStateError):
+            cl.append_level(np.array([1]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self, dev):
+        cl = CliqueList(dev)
+        with pytest.raises(ValueError):
+            cl.append_root(np.array([0]), np.array([1, 2]))
+
+    def test_levels_increment(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.array([0]), np.array([1]))
+        node = cl.append_level(np.array([2]), np.array([0]))
+        assert node.level == 3
+        assert cl.head is node
+
+    def test_memory_charged_and_freed(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.arange(10, dtype=np.int32), np.arange(10, dtype=np.int32))
+        assert dev.pool.in_use_bytes == 80  # 2 x 10 x int32
+        assert cl.total_bytes == 80
+        assert cl.total_candidates == 10
+        cl.free_all()
+        assert dev.pool.in_use_bytes == 0
+        assert len(cl) == 0
+
+    def test_empty_head_raises(self, dev):
+        cl = CliqueList(dev)
+        with pytest.raises(DeviceStateError):
+            _ = cl.head
+
+
+class TestReadout:
+    def test_paper_figure1_example(self, dev):
+        """Reproduce Figure 1's walk exactly.
+
+        The figure reads the maximum clique {E, D, C, B} out of the
+        clique list via: vertexID_4[0]=E, sublistID_4[0]=3 ->
+        vertexID_3[3]=D, sublistID_3[3]=4 -> vertexID_2[4]=C,
+        sublistID_2[4]=B. Vertices A..E = 0..4.
+        """
+        A, B, C, D, E = range(5)
+        cl = CliqueList(dev)
+        # k=2 root node; index 4 must hold the (B, C) 2-clique
+        cl.append_root(
+            np.array([A, A, D, D, B, D]), np.array([B, C, B, C, C, E])
+        )
+        # k=3 node; index 3 must hold D with parent pointer 4
+        cl.append_level(np.array([C, C, C, D]), np.array([0, 2, 3, 4]))
+        # k=4 node: E extends {B, C, D} via k=3 entry 3
+        cl.append_level(np.array([E]), np.array([3]))
+
+        cliques = cl.read_cliques()
+        assert cliques.shape == (1, 4)
+        assert cliques[0].tolist() == [E, D, C, B]
+
+    def test_readout_orders_deepest_first(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.array([0, 0]), np.array([1, 2]))
+        cl.append_level(np.array([3, 4]), np.array([0, 1]))
+        out = cl.read_cliques()
+        assert out.shape == (2, 3)
+        assert out[0].tolist() == [3, 1, 0]
+        assert out[1].tolist() == [4, 2, 0]
+
+    def test_readout_root_only(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.array([5, 6]), np.array([7, 8]))
+        out = cl.read_cliques()
+        assert out.shape == (2, 2)
+        # root rows read newest-first: (vertexID=dst, sublistID=src)
+        assert out[0].tolist() == [7, 5]
+        assert out[1].tolist() == [8, 6]
+
+    def test_readout_with_entries_subset(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.array([1, 2, 3]), np.array([4, 5, 6]))
+        out = cl.read_cliques(entries=np.array([2, 0]))
+        assert out[:, 0].tolist() == [6, 4]  # vertexID column holds dst
+
+    def test_readout_with_limit(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.arange(5, dtype=np.int32), np.arange(5, dtype=np.int32))
+        assert cl.read_cliques(limit=2).shape == (2, 2)
+
+    def test_readout_intermediate_node(self, dev):
+        cl = CliqueList(dev)
+        cl.append_root(np.array([0]), np.array([1]))
+        cl.append_level(np.array([2]), np.array([0]))
+        out = cl.read_cliques(node_index=0)
+        assert out.shape == (1, 2)
+
+    def test_readout_empty_list_raises(self, dev):
+        with pytest.raises(DeviceStateError):
+            CliqueList(dev).read_cliques()
+
+
+class TestSharedPrefixStorage:
+    def test_siblings_share_parent_entry(self, dev):
+        """Two k=3 cliques extending the same 2-clique store the parent
+        once -- the compactness property of Section IV-B."""
+        cl = CliqueList(dev)
+        cl.append_root(np.array([0]), np.array([9]))  # 2-clique src=0, dst=9
+        cl.append_level(np.array([4, 5, 6]), np.array([0, 0, 0]))
+        out = cl.read_cliques()
+        assert out.shape == (3, 3)
+        for row, newest in zip(out, [4, 5, 6]):
+            assert row.tolist() == [newest, 9, 0]
+        # storage: 1 root entry + 3 child entries, not 3 full triples
+        assert cl.total_candidates == 4

@@ -1,0 +1,157 @@
+"""Greedy heuristic tests (paper Section IV-A / Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Heuristic
+from repro.core.heuristics import multi_run_greedy, run_heuristic, single_run_greedy
+from repro.graph import core_numbers, from_edge_list
+from repro.graph import generators as gen
+from repro.gpusim import Device, DeviceSpec
+
+from ..conftest import assert_is_clique, nx_maximum_cliques
+
+
+@pytest.fixture
+def dev():
+    return Device(DeviceSpec(memory_bytes=1 << 26))
+
+
+class TestSingleRun:
+    def test_finds_clique_on_complete_graph(self, dev):
+        g = gen.complete_graph(6)
+        size, clique = single_run_greedy(g, g.degrees, dev)
+        assert size == 6
+        assert sorted(clique.tolist()) == list(range(6))
+
+    def test_returns_valid_clique(self, dev):
+        g = gen.erdos_renyi(40, 0.3, seed=3)
+        size, clique = single_run_greedy(g, g.degrees, dev)
+        assert size == clique.size
+        assert_is_clique(g, clique)
+
+    def test_single_vertex_graph(self, dev):
+        g = from_edge_list([], num_vertices=1)
+        size, clique = single_run_greedy(g, g.degrees, dev)
+        assert size == 1
+
+    def test_empty_graph(self, dev):
+        g = from_edge_list([])
+        size, clique = single_run_greedy(g, g.degrees, dev)
+        assert size == 0
+
+    def test_starts_from_highest_rank(self, dev):
+        # star graph: highest degree is the hub; greedy yields an edge
+        g = gen.star_graph(6)
+        size, clique = single_run_greedy(g, g.degrees, dev)
+        assert size == 2
+        assert 0 in clique.tolist()
+
+    def test_frees_device_memory(self, dev):
+        g = gen.erdos_renyi(30, 0.3, seed=1)
+        before = dev.pool.in_use_bytes
+        single_run_greedy(g, g.degrees, dev)
+        assert dev.pool.in_use_bytes == before
+
+
+class TestMultiRun:
+    def test_all_seeds_beats_single_run(self, dev):
+        # multi-run is the best over h greedy starts, so it can only
+        # match or beat the single run from the top-ranked vertex
+        for seed in range(10):
+            g = gen.erdos_renyi(35, 0.35, seed=seed)
+            s1, _ = single_run_greedy(g, g.degrees, dev)
+            sm, _ = multi_run_greedy(g, g.degrees, dev)
+            assert sm >= s1
+
+    def test_returns_valid_clique(self, dev):
+        for seed in range(10):
+            g = gen.erdos_renyi(30, 0.4, seed=100 + seed)
+            size, clique = multi_run_greedy(g, g.degrees, dev)
+            assert size == clique.size
+            assert_is_clique(g, clique)
+
+    def test_h_limits_seeds(self, dev):
+        g = gen.planted_clique(100, 8, avg_degree=2.0, seed=5)
+        # h=1 equals greedy from the single top-ranked seed
+        s_h1, _ = multi_run_greedy(g, g.degrees, dev, h=1)
+        s_top, _ = single_run_greedy(g, g.degrees, dev)
+        assert s_h1 <= s_top  # single-run refills from the whole list
+        s_all, _ = multi_run_greedy(g, g.degrees, dev)
+        assert s_all >= s_h1
+
+    def test_finds_planted_clique_with_all_seeds(self, dev):
+        g = gen.planted_clique(200, 10, avg_degree=2.0, seed=6)
+        size, clique = multi_run_greedy(g, g.degrees, dev)
+        assert size == 10
+        assert_is_clique(g, clique)
+
+    def test_isolated_seeds_handled(self, dev):
+        g = from_edge_list([(0, 1)], num_vertices=5)
+        size, clique = multi_run_greedy(g, g.degrees, dev)
+        assert size == 2
+
+    def test_edgeless(self, dev):
+        g = from_edge_list([], num_vertices=3)
+        size, clique = multi_run_greedy(g, g.degrees, dev)
+        assert size == 1
+
+    def test_frees_device_memory(self, dev):
+        g = gen.erdos_renyi(30, 0.3, seed=2)
+        before = dev.pool.in_use_bytes
+        multi_run_greedy(g, g.degrees, dev)
+        assert dev.pool.in_use_bytes == before
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_lower_bound_never_exceeds_omega(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 25))
+        g = gen.erdos_renyi(n, float(rng.uniform(0.1, 0.7)), seed=seed)
+        if g.num_edges == 0:
+            return
+        dev = Device(DeviceSpec())
+        omega, _ = nx_maximum_cliques(g)
+        for ranks in (g.degrees, core_numbers(g)):
+            size, clique = multi_run_greedy(g, ranks, dev)
+            assert size <= omega
+            assert_is_clique(g, clique)
+
+
+class TestRunHeuristic:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            Heuristic.SINGLE_DEGREE,
+            Heuristic.SINGLE_CORE,
+            Heuristic.MULTI_DEGREE,
+            Heuristic.MULTI_CORE,
+        ],
+    )
+    def test_all_variants_report(self, kind, dev):
+        g = gen.erdos_renyi(30, 0.4, seed=9)
+        report = run_heuristic(g, kind, dev)
+        assert report.kind == kind.value
+        assert report.lower_bound == report.clique.size
+        assert_is_clique(g, report.clique)
+        assert report.model_time_s > 0
+
+    def test_none_variant(self, dev):
+        g = gen.erdos_renyi(10, 0.3, seed=1)
+        report = run_heuristic(g, Heuristic.NONE, dev)
+        assert report.lower_bound == 1
+        assert report.clique.size == 0
+
+    def test_empty_graph(self, dev):
+        g = from_edge_list([])
+        report = run_heuristic(g, Heuristic.MULTI_DEGREE, dev)
+        assert report.lower_bound == 0
+
+    def test_precomputed_ranks_accepted(self, dev):
+        g = gen.erdos_renyi(20, 0.4, seed=2)
+        core = core_numbers(g)
+        r1 = run_heuristic(g, Heuristic.MULTI_CORE, dev, ranks=core)
+        r2 = run_heuristic(g, Heuristic.MULTI_CORE, dev)
+        assert r1.lower_bound == r2.lower_bound

@@ -1,0 +1,81 @@
+"""Result dataclass behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import (
+    HeuristicReport,
+    LevelStats,
+    MaxCliqueResult,
+    SetupStats,
+    WindowStats,
+)
+
+
+def make_result(**kw):
+    defaults = dict(
+        clique_number=3,
+        num_maximum_cliques=2,
+        cliques=np.array([[0, 1, 2], [1, 2, 3]], dtype=np.int32),
+        found_by="search",
+        enumerated_all=True,
+        heuristic=HeuristicReport("multi-degree", 3, np.array([0, 1, 2])),
+    )
+    defaults.update(kw)
+    return MaxCliqueResult(**defaults)
+
+
+class TestMaxCliqueResult:
+    def test_pruned_fraction(self):
+        r = make_result(candidates_pruned=30, candidates_stored=70)
+        assert r.pruned_fraction == pytest.approx(0.3)
+
+    def test_pruned_fraction_empty(self):
+        assert make_result().pruned_fraction == 0.0
+
+    def test_throughput(self):
+        r = make_result(model_time_s=0.5)
+        assert r.throughput_eps(100) == pytest.approx(200.0)
+
+    def test_throughput_zero_time(self):
+        assert make_result(model_time_s=0.0).throughput_eps(10) == float("inf")
+
+    def test_summary_contents(self):
+        r = make_result(
+            model_time_s=1e-3,
+            peak_memory_bytes=2 << 20,
+            candidates_pruned=1,
+            candidates_stored=1,
+        )
+        s = r.summary()
+        assert "omega=3" in s
+        assert "x2" in s
+        assert "search" in s
+        assert "50.0%" in s
+
+
+class TestSetupStats:
+    def test_pruned_fraction(self):
+        s = SetupStats(total_edges=10, pruned_2cliques=4, kept_2cliques=6)
+        assert s.pruned_fraction == pytest.approx(0.4)
+
+    def test_empty(self):
+        assert SetupStats().pruned_fraction == 0.0
+
+
+class TestSmallRecords:
+    def test_level_stats_fields(self):
+        ls = LevelStats(level=3, candidates=10, generated=8, pruned=2)
+        assert ls.level == 3
+
+    def test_window_stats_fields(self):
+        ws = WindowStats(
+            index=0, start=0, end=10, peak_bytes=100,
+            best_clique_size=4, levels=3,
+        )
+        assert ws.end == 10
+
+    def test_heuristic_report_defaults(self):
+        hr = HeuristicReport("none", 1, np.zeros(0, dtype=np.int32))
+        assert hr.model_time_s == 0.0
+        assert hr.wall_time_s == 0.0

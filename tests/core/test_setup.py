@@ -1,0 +1,121 @@
+"""2-clique list formation tests (paper Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RankKey, SublistOrder
+from repro.core.setup import build_two_clique_list, vertex_upper_bounds
+from repro.graph import core_numbers, from_edge_list
+from repro.graph import generators as gen
+from repro.gpusim import Device, DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return Device(DeviceSpec(memory_bytes=1 << 26))
+
+
+class TestVertexUpperBounds:
+    def test_degree_bound(self, triangle):
+        bounds = vertex_upper_bounds(triangle, triangle.degrees)
+        assert bounds.tolist() == [3, 3, 3]
+
+    def test_core_bound_tighter_on_star(self):
+        g = gen.star_graph(5)
+        deg_bounds = vertex_upper_bounds(g, g.degrees)
+        core_bounds = vertex_upper_bounds(g, core_numbers(g))
+        assert deg_bounds[0] == 6  # hub degree + 1
+        assert core_bounds[0] == 2  # hub core + 1: the truth
+        assert (core_bounds <= deg_bounds).all()
+
+    def test_coloring_preprune_tightens(self):
+        # bipartite-ish graph: colouring bound beats degree bound
+        g = gen.cycle_graph(8)
+        plain = vertex_upper_bounds(g, g.degrees)
+        colored = vertex_upper_bounds(g, g.degrees, coloring_preprune=True)
+        assert (colored <= plain).all()
+        assert colored.max() <= 3
+
+
+class TestBuildTwoCliqueList:
+    def test_no_pruning_keeps_all_edges(self, paper_graph, dev):
+        src, dst, stats = build_two_clique_list(paper_graph, 2, dev)
+        assert src.size == paper_graph.num_edges
+        assert stats.kept_2cliques == paper_graph.num_edges
+        assert stats.pruned_2cliques == 0
+
+    def test_each_edge_once(self, dev):
+        g = gen.erdos_renyi(40, 0.3, seed=7)
+        src, dst, _ = build_two_clique_list(g, 2, dev)
+        got = {frozenset((int(a), int(b))) for a, b in zip(src, dst)}
+        want = {frozenset((int(a), int(b))) for a, b in zip(*g.to_edge_list())}
+        assert got == want
+
+    def test_vertex_preprune(self, paper_graph, dev):
+        # omega_bar=4 removes A (degree 2 -> bound 3)
+        src, dst, stats = build_two_clique_list(paper_graph, 4, dev)
+        assert stats.prepruned_vertices == 1
+        assert 0 not in set(src.tolist()) | set(dst.tolist())
+
+    def test_sublist_length_prune(self, dev):
+        # path graph: with omega_bar=3 every sublist (length <= 2 but
+        # needing length >= 2)... use a star: leaves have sublists of
+        # length 1, omega_bar=3 prunes everything
+        g = gen.star_graph(4)
+        src, dst, stats = build_two_clique_list(g, 3, dev)
+        assert src.size == 0
+        assert stats.pruned_2cliques == g.num_edges
+
+    def test_core_ranks_prune_more_than_degree(self, dev):
+        # star + triangle: hub has high degree, low core
+        g = from_edge_list([(0, 1), (0, 2), (0, 3), (0, 4), (5, 6), (6, 7), (5, 7), (0, 5)])
+        core = core_numbers(g)
+        _, _, deg_stats = build_two_clique_list(g, 3, dev)
+        _, _, core_stats = build_two_clique_list(g, 3, dev, ranks=core)
+        assert core_stats.pruned_2cliques >= deg_stats.pruned_2cliques
+
+    def test_sublist_degree_sort(self, dev):
+        g = gen.chung_lu_power_law(100, 6.0, seed=3)
+        src, dst, _ = build_two_clique_list(
+            g, 2, dev, sublist_order=SublistOrder.DEGREE
+        )
+        deg = g.degrees
+        # within each source group, destination degrees are non-decreasing
+        for s in np.unique(src):
+            d = dst[src == s].astype(np.int64)
+            assert (np.diff(deg[d]) >= 0).all()
+
+    def test_sublist_index_order(self, dev):
+        g = gen.erdos_renyi(30, 0.3, seed=4)
+        src, dst, _ = build_two_clique_list(
+            g, 2, dev, sublist_order=SublistOrder.INDEX
+        )
+        for s in np.unique(src):
+            d = dst[src == s]
+            assert (np.diff(d.astype(np.int64)) > 0).all()
+
+    def test_index_orientation(self, dev):
+        g = gen.erdos_renyi(30, 0.3, seed=5)
+        src, dst, _ = build_two_clique_list(
+            g, 2, dev, orientation_key=RankKey.INDEX,
+            sublist_order=SublistOrder.INDEX,
+        )
+        assert (src.astype(np.int64) < dst.astype(np.int64)).all()
+
+    def test_degree_orientation_shortens_sublists(self, dev):
+        # With degree orientation on a star, the hub is never a source
+        g = gen.star_graph(6)
+        src, dst, _ = build_two_clique_list(g, 2, dev)
+        assert (dst == 0).all()
+
+    def test_sources_grouped(self, dev):
+        g = gen.erdos_renyi(40, 0.2, seed=6)
+        src, _, _ = build_two_clique_list(g, 2, dev)
+        # grouped = each source value appears in one contiguous run
+        changes = np.flatnonzero(np.diff(src.astype(np.int64)) != 0)
+        assert len(np.unique(src)) == changes.size + 1 if src.size else True
+
+    def test_stats_fractions(self, dev):
+        g = gen.star_graph(4)
+        _, _, stats = build_two_clique_list(g, 3, dev)
+        assert stats.pruned_fraction == 1.0

@@ -1,0 +1,104 @@
+"""Result verification utility tests."""
+
+import numpy as np
+import pytest
+
+from repro import find_maximum_cliques
+from repro.core.result import MaxCliqueResult
+from repro.core.verify import (
+    VerificationError,
+    is_clique,
+    is_maximal_clique,
+    verify_result,
+)
+from repro.graph import from_edge_list
+from repro.graph import generators as gen
+
+
+class TestIsClique:
+    def test_positive(self, paper_graph):
+        assert is_clique(paper_graph, [1, 2, 3, 4])
+        assert is_clique(paper_graph, [0, 1])
+        assert is_clique(paper_graph, [3])
+        assert is_clique(paper_graph, [])
+
+    def test_negative(self, paper_graph):
+        assert not is_clique(paper_graph, [0, 3])  # missing edge
+        assert not is_clique(paper_graph, [1, 1])  # duplicate
+        assert not is_clique(paper_graph, [1, 99])  # out of range
+
+
+class TestIsMaximal:
+    def test_maximum_is_maximal(self, paper_graph):
+        assert is_maximal_clique(paper_graph, [1, 2, 3, 4])
+
+    def test_extendable_not_maximal(self, paper_graph):
+        assert not is_maximal_clique(paper_graph, [1, 2, 3])  # + 4
+        assert not is_maximal_clique(paper_graph, [0, 1])  # + 2
+
+    def test_non_clique_not_maximal(self, paper_graph):
+        assert not is_maximal_clique(paper_graph, [0, 3])
+
+
+class TestVerifyResult:
+    def test_accepts_correct_results(self):
+        for seed in range(10):
+            g = gen.erdos_renyi(25, 0.35, seed=seed)
+            r = find_maximum_cliques(g)
+            verify_result(g, r, cross_check=True)
+
+    def test_accepts_windowed_results(self):
+        g = gen.erdos_renyi(30, 0.35, seed=42)
+        r = find_maximum_cliques(g, window_size=8)
+        verify_result(g, r, cross_check=True)
+
+    def test_rejects_wrong_omega(self, triangle):
+        r = find_maximum_cliques(triangle)
+        r.clique_number = 2
+        with pytest.raises(VerificationError):
+            verify_result(triangle, r)
+
+    def test_rejects_fake_clique(self, paper_graph):
+        r = find_maximum_cliques(paper_graph)
+        r.cliques = np.array([[0, 1, 2, 3]], dtype=np.int32)  # not a clique
+        with pytest.raises(VerificationError):
+            verify_result(paper_graph, r)
+
+    def test_rejects_non_maximal(self):
+        g = gen.complete_graph(4)
+        r = find_maximum_cliques(g)
+        r.clique_number = 3
+        r.cliques = np.array([[0, 1, 2]], dtype=np.int32)  # extendable
+        with pytest.raises(VerificationError):
+            verify_result(g, r)
+
+    def test_rejects_duplicates(self, triangle):
+        r = find_maximum_cliques(triangle)
+        r.cliques = np.array([[0, 1, 2], [2, 1, 0]], dtype=np.int32)
+        with pytest.raises(VerificationError):
+            verify_result(triangle, r)
+
+    def test_rejects_unsound_heuristic_bound(self, triangle):
+        r = find_maximum_cliques(triangle)
+        r.heuristic.lower_bound = 99
+        with pytest.raises(VerificationError):
+            verify_result(triangle, r)
+
+    def test_rejects_wrong_enumeration_count(self):
+        g = from_edge_list([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        r = find_maximum_cliques(g)
+        r.num_maximum_cliques = 1
+        r.cliques = r.cliques[:1]
+        with pytest.raises(VerificationError):
+            verify_result(g, r, cross_check=True)
+
+    def test_cross_check_size_guard(self):
+        g = gen.erdos_renyi(80, 0.1, seed=1)
+        r = find_maximum_cliques(g)
+        with pytest.raises(VerificationError):
+            verify_result(g, r, cross_check=True, cross_check_limit=60)
+
+    def test_empty_graph(self):
+        g = from_edge_list([])
+        r = find_maximum_cliques(g)
+        verify_result(g, r)

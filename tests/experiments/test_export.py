@@ -1,0 +1,91 @@
+"""Result-export round trips."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.datasets.suite import SUITE, load
+from repro.experiments.export import (
+    figure_to_csv,
+    run_record_dicts,
+    run_records_to_csv,
+    table1_to_csv,
+    table2_to_csv,
+    to_json,
+)
+from repro.experiments.figures import figure2, figure4, figure6
+from repro.experiments.harness import run_config
+from repro.experiments.tables import table1, table2
+
+TINY = dict(max_edges=9_000, timeout_s=60.0)
+
+
+@pytest.fixture(scope="module")
+def records():
+    spec = SUITE[0]
+    graph = load(spec.name)
+    return [run_config(spec, graph, SolverConfig())]
+
+
+class TestRunRecords:
+    def test_dicts(self, records):
+        d = run_record_dicts(records)[0]
+        assert d["dataset"] == SUITE[0].name
+        assert d["outcome"] == "ok"
+
+    def test_csv_round_trip(self, records, tmp_path):
+        path = tmp_path / "runs.csv"
+        run_records_to_csv(records, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["dataset"] == SUITE[0].name
+        assert float(rows[0]["model_time_s"]) > 0
+
+    def test_empty_csv(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        run_records_to_csv([], path)
+        assert path.read_text() == ""
+
+    def test_json(self, records, tmp_path):
+        path = tmp_path / "runs.json"
+        to_json(records, path)
+        data = json.loads(path.read_text())
+        assert data[0]["dataset"] == SUITE[0].name
+
+
+class TestTableExports:
+    def test_table1_csv(self, tmp_path):
+        t = table1(**TINY)
+        path = tmp_path / "t1.csv"
+        table1_to_csv(t, path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert {r["heuristic"] for r in rows} >= {"none", "multi-degree"}
+
+    def test_table2_csv(self, tmp_path):
+        t = table2(**TINY)
+        path = tmp_path / "t2.csv"
+        table2_to_csv(t, path)
+        text = path.read_text()
+        assert "baseline" in text
+
+
+class TestFigureExports:
+    def test_throughput_figure(self, tmp_path):
+        fig = figure2(**TINY)
+        path = tmp_path / "fig2.csv"
+        figure_to_csv(fig, path)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][1] == "avg_degree"
+        assert len(rows) == len(fig.rows) + 1
+
+    def test_speedup_figure(self, tmp_path):
+        fig = figure4(**TINY)
+        figure_to_csv(fig, tmp_path / "fig4.csv")
+
+    def test_window_figure(self, tmp_path):
+        fig = figure6(**TINY)
+        figure_to_csv(fig, tmp_path / "fig6.csv")

@@ -1,0 +1,111 @@
+"""Unit tests for the figure classes' statistics on synthetic rows.
+
+These exercise the metric logic (correlations, geo-means, medians)
+without running any sweeps, so the properties the benchmark
+assertions lean on are themselves tested.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import SpeedupFigure, ThroughputFigure, WindowFigure
+
+
+def make_throughput(rows, meta=None):
+    fig = ThroughputFigure(x_label="avg_degree")
+    fig.rows = rows
+    fig.meta = meta or []
+    return fig
+
+
+class TestThroughputFigure:
+    def test_bf_correlation_ignores_failures(self):
+        fig = make_throughput(
+            [
+                ("a", 1.0, 10.0, 0.0),
+                ("b", 2.0, 20.0, 0.0),
+                ("c", 3.0, 0.0, 0.0),  # OOM row excluded
+            ]
+        )
+        assert fig.bf_correlation == pytest.approx(1.0)
+
+    def test_size_adjusted_recovers_hidden_degree_effect(self):
+        # throughput = |E| / degree: raw degree correlation is masked
+        # by the size spread, the size-adjusted one is perfectly -1
+        rng = np.random.default_rng(0)
+        rows, meta = [], []
+        for i in range(30):
+            edges = int(10 ** rng.uniform(3, 6))
+            degree = float(rng.uniform(2, 100))
+            tput = edges / degree
+            rows.append((f"g{i}", degree, tput, 0.0))
+            meta.append((f"g{i}", degree, edges))
+        fig = make_throughput(rows, meta)
+        assert fig.size_adjusted_degree_correlation("bf") < -0.95
+
+    def test_size_adjusted_nan_when_too_few(self):
+        fig = make_throughput(
+            [("a", 1.0, 10.0, 0.0)], [("a", 1.0, 100)]
+        )
+        assert math.isnan(fig.size_adjusted_degree_correlation("bf"))
+
+    def test_render_with_and_without_meta(self):
+        fig = make_throughput([("a", 1.0, 10.0, 5.0)])
+        assert "size-adjusted" not in fig.render()
+        fig.meta = [("a", 1.0, 100)]
+        assert "size-adjusted" in fig.render()
+
+
+class TestSpeedupFigure:
+    def test_geomeans_and_split(self):
+        fig = SpeedupFigure()
+        fig.rows = [
+            ("low1", 2.0, 4.0, 1.0),
+            ("low2", 3.0, 4.0, 1.0),
+            ("low3", 4.0, 4.0, 1.0),  # the median row joins the low half
+            ("high1", 50.0, 0.25, 0.1),
+            ("high2", 60.0, 0.25, 0.1),
+        ]
+        assert fig.bf_geomean == pytest.approx((4 ** 3 * 0.25 ** 2) ** 0.2)
+        assert fig.low_degree_geomean == pytest.approx(4.0)
+        assert fig.high_degree_geomean == pytest.approx(0.25)
+
+    def test_failed_rows_excluded(self):
+        fig = SpeedupFigure()
+        fig.rows = [("a", 1.0, 2.0, 0.0), ("b", 2.0, 0.0, 0.0)]
+        assert fig.bf_geomean == pytest.approx(2.0)
+
+    def test_render(self):
+        fig = SpeedupFigure()
+        fig.rows = [("a", 1.0, 2.0, 0.0)]
+        out = fig.render()
+        assert "2.00x" in out and "OOM" in out
+
+
+class TestWindowFigure:
+    def test_reduction_and_runtime(self):
+        fig = WindowFigure()
+        fig.rows = [
+            ("a", 1000.0, {64: 100.0, 1024: 800.0}, {64: 0.5, 1024: 0.9}),
+            ("b", 2000.0, {64: 400.0, 1024: 1800.0}, {64: 0.4, 1024: 0.8}),
+        ]
+        assert fig.mean_reduction(64) == pytest.approx((0.9 + 0.8) / 2)
+        assert fig.mean_reduction(1024) == pytest.approx((0.2 + 0.1) / 2)
+        assert fig.runtime_geomean(64) == pytest.approx(
+            math.sqrt(0.5 * 0.4)
+        )
+
+    def test_missing_window_is_nan(self):
+        fig = WindowFigure()
+        fig.rows = [("a", 100.0, {}, {})]
+        assert math.isnan(fig.mean_reduction(64))
+        assert math.isnan(fig.runtime_geomean(64))
+
+    def test_render_with_orderings(self):
+        fig = WindowFigure()
+        fig.rows = [("a", 1000.0, {64: 100.0}, {64: 0.5})]
+        fig.ordering_mem = {"natural": 100.0, "desc-degree": 200.0}
+        out = fig.render()
+        assert "ordering peak-memory" in out

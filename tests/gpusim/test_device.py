@@ -1,0 +1,121 @@
+"""Unit tests for the simulated device's kernel cost model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceSpec
+
+
+def make_device(**kw) -> Device:
+    defaults = dict(
+        lanes=64, warp_size=32, clock_hz=1e9, launch_overhead_s=1e-6,
+        memory_bytes=1 << 20,
+    )
+    defaults.update(kw)
+    return Device(DeviceSpec(**defaults))
+
+
+class TestLaunchAccounting:
+    def test_empty_launch_is_a_noop(self):
+        d = make_device()
+        t = d.launch(np.zeros(0))
+        assert t == 0.0
+        assert d.stats().kernel_launches == 0
+        assert d.stats().threads_launched == 0
+        assert d.launch(5.0, n_threads=0) == 0.0
+
+    def test_uniform_launch_charges_overhead_plus_work(self):
+        d = make_device()
+        t = d.launch(1.0, n_threads=64)
+        # 64 threads exactly fill the device: 64 ops / 64 lanes / 1e9 Hz
+        assert t == pytest.approx(1e-6 + 1e-9)
+
+    def test_warp_divergence_charges_max_of_warp(self):
+        d = make_device()
+        costs = np.zeros(32)
+        costs[0] = 100.0  # one busy thread, 31 idle lane-mates
+        d.launch(costs)
+        s = d.stats()
+        assert s.useful_ops == pytest.approx(100.0)
+        assert s.effective_ops == pytest.approx(3200.0)  # 32 * max
+        assert s.divergence_waste == pytest.approx(1 - 100 / 3200)
+
+    def test_uniform_costs_have_no_divergence_waste(self):
+        d = make_device()
+        d.launch(np.full(64, 7.0))
+        s = d.stats()
+        assert s.useful_ops == s.effective_ops == pytest.approx(64 * 7.0)
+
+    def test_ragged_last_warp_rounding(self):
+        d = make_device()
+        d.launch(2.0, n_threads=33)  # 2 warps, second nearly empty
+        s = d.stats()
+        assert s.useful_ops == pytest.approx(66.0)
+        assert s.effective_ops == pytest.approx(2.0 * 64)
+
+    def test_latency_bound_small_launch(self):
+        # one thread doing lots of serial work cannot use the full device
+        d = make_device()
+        t = d.launch(np.array([1e6]))
+        serial = 1e6 / 1e9
+        assert t == pytest.approx(1e-6 + serial)
+
+    def test_throughput_bound_large_launch(self):
+        d = make_device()
+        n = 64 * 100
+        t = d.launch(1.0, n_threads=n)
+        assert t == pytest.approx(1e-6 + n / 64 / 1e9)
+
+    def test_scalar_requires_n_threads(self):
+        d = make_device()
+        with pytest.raises(ValueError):
+            d.launch(1.0)
+
+    def test_model_time_accumulates(self):
+        d = make_device()
+        t1 = d.launch(1.0, n_threads=10)
+        t2 = d.launch(1.0, n_threads=10)
+        assert d.model_time_s == pytest.approx(t1 + t2)
+
+    def test_charge_time_direct(self):
+        d = make_device()
+        d.charge_time(0.5)
+        assert d.model_time_s == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            d.charge_time(-1.0)
+
+    def test_reset_counters(self):
+        d = make_device()
+        arr = d.alloc(100, np.int64)
+        d.launch(1.0, n_threads=5)
+        d.reset_counters()
+        s = d.stats()
+        assert s.kernel_launches == 0
+        assert s.model_time_s == 0.0
+        assert s.mem_in_use_bytes == 800  # live allocation survives
+        assert s.mem_peak_bytes == 800
+        arr.free()
+
+
+class TestAllocation:
+    def test_alloc_and_fill(self):
+        d = make_device()
+        arr = d.alloc(5, np.int32, fill=7)
+        assert arr.to_host().tolist() == [7] * 5
+        arr.free()
+
+    def test_from_host_copies(self):
+        d = make_device()
+        host = np.arange(4)
+        arr = d.from_host(host)
+        host[0] = 99
+        assert arr.a[0] == 0
+        arr.free()
+
+    def test_stats_track_memory(self):
+        d = make_device()
+        arr = d.alloc((10,), np.int64)
+        assert d.stats().mem_in_use_bytes == 80
+        arr.free()
+        assert d.stats().mem_in_use_bytes == 0
+        assert d.stats().mem_peak_bytes == 80

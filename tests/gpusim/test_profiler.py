@@ -1,0 +1,58 @@
+"""Per-kernel profiler tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, DeviceSpec
+
+
+@pytest.fixture
+def dev():
+    return Device(DeviceSpec(memory_bytes=1 << 20))
+
+
+class TestKernelBreakdown:
+    def test_groups_by_name(self, dev):
+        dev.launch(1.0, n_threads=10, name="a")
+        dev.launch(1.0, n_threads=10, name="a")
+        dev.launch(2.0, n_threads=5, name="b")
+        bd = dev.kernel_breakdown()
+        assert bd["a"].launches == 2
+        assert bd["a"].threads == 20
+        assert bd["b"].launches == 1
+
+    def test_times_partition_total(self, dev):
+        dev.launch(np.arange(100, dtype=np.float64), name="x")
+        dev.launch(7.0, n_threads=3, name="y")
+        bd = dev.kernel_breakdown()
+        assert sum(p.model_time_s for p in bd.values()) == pytest.approx(
+            dev.model_time_s
+        )
+
+    def test_sorted_by_time(self, dev):
+        dev.launch(1.0, n_threads=1, name="small")
+        dev.launch(1e6, n_threads=1024, name="big")
+        names = list(dev.kernel_breakdown())
+        assert names[0] == "big"
+
+    def test_divergence_waste_per_kernel(self, dev):
+        costs = np.zeros(32)
+        costs[0] = 64.0
+        dev.launch(costs, name="divergent")
+        prof = dev.kernel_breakdown()["divergent"]
+        assert prof.divergence_waste > 0.9
+
+    def test_reset_clears_profiles(self, dev):
+        dev.launch(1.0, n_threads=4, name="z")
+        dev.reset_counters()
+        assert dev.kernel_breakdown() == {}
+
+    def test_solver_produces_named_kernels(self):
+        from repro import MaxCliqueSolver
+        from repro.graph import generators as gen
+
+        dev = Device(DeviceSpec(memory_bytes=1 << 26))
+        MaxCliqueSolver(gen.erdos_renyi(40, 0.3, seed=1), device=dev).solve()
+        names = set(dev.kernel_breakdown())
+        # the Algorithm 2 kernels must all appear
+        assert {"count_cliques", "output_new_cliques", "exclusive_scan"} <= names

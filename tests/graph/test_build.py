@@ -1,0 +1,143 @@
+"""Unit + property tests for graph builders and preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    from_adjacency,
+    from_edge_array,
+    from_edge_list,
+    induced_subgraph,
+    relabel_random,
+)
+from repro.graph.build import graph_union
+from repro.graph import generators as gen
+
+
+class TestFromEdgeList:
+    def test_mirrors_edges(self):
+        g = from_edge_list([(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_drops_self_loops(self):
+        g = from_edge_list([(0, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_merges_duplicates_and_reciprocals(self):
+        g = from_edge_list([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_empty(self):
+        g = from_edge_list([])
+        assert g.num_vertices == 0
+
+    def test_num_vertices_override(self):
+        g = from_edge_list([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_id_exceeding_num_vertices_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_list([(0, 5)], num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(np.array([-1]), np.array([0]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_list([(1, 2, 3)])
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_array(np.zeros(2, np.int64), np.zeros(3, np.int64))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_builds_exact_simple_graph(self, edges):
+        g = from_edge_list(edges, num_vertices=16)
+        want = {frozenset(e) for e in edges if e[0] != e[1]}
+        got = {
+            frozenset((int(a), int(b)))
+            for a, b in zip(*g.to_edge_list())
+        }
+        assert got == want
+        g.validate()
+
+
+class TestFromAdjacency:
+    def test_round_trip(self, paper_graph):
+        adj = [paper_graph.neighbors(v).tolist() for v in range(5)]
+        g = from_adjacency(adj)
+        assert (g.col_indices == paper_graph.col_indices).all()
+
+
+class TestRelabel:
+    def test_preserves_structure(self):
+        g = gen.erdos_renyi(30, 0.3, seed=1)
+        h = relabel_random(g, seed=2)
+        assert h.num_vertices == g.num_vertices
+        assert h.num_edges == g.num_edges
+        assert sorted(h.degrees.tolist()) == sorted(g.degrees.tolist())
+
+    def test_deterministic(self):
+        g = gen.erdos_renyi(30, 0.3, seed=1)
+        a = relabel_random(g, seed=7)
+        b = relabel_random(g, seed=7)
+        assert (a.col_indices == b.col_indices).all()
+
+    def test_actually_permutes(self):
+        g = gen.star_graph(10)
+        h = relabel_random(g, seed=3)
+        # hub moves with overwhelming probability for this seed
+        assert int(np.argmax(h.degrees)) != 0 or (h.degrees == g.degrees).all()
+
+
+class TestInducedSubgraph:
+    def test_triangle_subset(self, paper_graph):
+        sub, ids = induced_subgraph(paper_graph, np.array([1, 2, 3]))
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # B,C,D form a triangle
+        assert ids.tolist() == [1, 2, 3]
+
+    def test_edgeless_subset(self, paper_graph):
+        sub, _ = induced_subgraph(paper_graph, np.array([0, 3]))
+        assert sub.num_edges == 0  # A and D are not adjacent
+
+    def test_duplicate_ids_collapsed(self, triangle):
+        sub, ids = induced_subgraph(triangle, np.array([0, 0, 1]))
+        assert sub.num_vertices == 2
+        assert ids.tolist() == [0, 1]
+
+
+class TestGraphUnion:
+    def test_union_of_disjoint_edges(self):
+        a = from_edge_list([(0, 1)], num_vertices=4)
+        b = from_edge_list([(2, 3)], num_vertices=4)
+        u = graph_union(a, b)
+        assert u.num_edges == 2
+
+    def test_union_merges_shared_edges(self):
+        a = from_edge_list([(0, 1), (1, 2)])
+        b = from_edge_list([(0, 1)], num_vertices=3)
+        u = graph_union(a, b)
+        assert u.num_edges == 2
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ValueError):
+            graph_union()
+
+    def test_union_takes_max_vertices(self):
+        a = from_edge_list([(0, 1)], num_vertices=2)
+        b = from_edge_list([(0, 1)], num_vertices=9)
+        assert graph_union(a, b).num_vertices == 9

@@ -1,0 +1,134 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators as gen
+
+
+class TestDeterministicGraphs:
+    def test_complete_graph(self):
+        g = gen.complete_graph(6)
+        assert g.num_edges == 15
+        assert (g.degrees == 5).all()
+
+    def test_cycle_graph(self):
+        g = gen.cycle_graph(5)
+        assert g.num_edges == 5
+        assert (g.degrees == 2).all()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            gen.cycle_graph(2)
+
+    def test_star_graph(self):
+        g = gen.star_graph(6)
+        assert g.num_vertices == 7
+        assert g.degrees[0] == 6
+        assert (g.degrees[1:] == 1).all()
+
+
+class TestRandomModels:
+    def test_er_determinism(self):
+        a = gen.erdos_renyi(40, 0.2, seed=9)
+        b = gen.erdos_renyi(40, 0.2, seed=9)
+        assert (a.col_indices == b.col_indices).all()
+
+    def test_er_density(self):
+        g = gen.erdos_renyi(200, 0.1, seed=1)
+        expected = 0.1 * 200 * 199 / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_er_bad_p(self):
+        with pytest.raises(ValueError):
+            gen.erdos_renyi(10, 1.5)
+
+    def test_er_m_edge_count(self):
+        g = gen.erdos_renyi_m(500, 2000, seed=2)
+        assert 0.95 * 2000 <= g.num_edges <= 2000
+
+    def test_chung_lu_heavy_tail(self):
+        g = gen.chung_lu_power_law(2000, 8.0, exponent=2.3, seed=3)
+        d = np.sort(g.degrees)[::-1]
+        assert d[0] > 5 * np.median(d[d > 0])  # hubs exist
+        assert abs(g.average_degree - 8.0) < 4.0
+
+    def test_chung_lu_bad_exponent(self):
+        with pytest.raises(ValueError):
+            gen.chung_lu_power_law(100, 4.0, exponent=1.0)
+
+    def test_rmat_size(self):
+        g = gen.rmat(10, 8, seed=4)
+        assert g.num_vertices == 1024
+        assert g.num_edges > 2000  # duplicates merged but most survive
+
+    def test_rmat_bad_probs(self):
+        with pytest.raises(ValueError):
+            gen.rmat(8, 8, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rmat_skewed_degrees(self):
+        g = gen.rmat(12, 8, seed=5)
+        d = np.sort(g.degrees)[::-1]
+        assert d[0] > 10 * max(np.median(d), 1)
+
+
+class TestPlantedClique:
+    def test_plant_is_present_and_maximum(self):
+        g = gen.planted_clique(400, 10, avg_degree=3.0, seed=6)
+        # the clique's vertices all have degree >= 9
+        from repro.baselines import pmc_max_clique
+
+        assert pmc_max_clique(g).clique_number == 10
+
+    def test_plant_too_big(self):
+        with pytest.raises(ValueError):
+            gen.planted_clique(5, 6, avg_degree=1.0)
+
+
+class TestCavemanSocial:
+    def test_shape(self):
+        g = gen.caveman_social(5, 30, p_in=0.4, seed=7)
+        assert g.num_vertices == 150
+        # dense communities push the average degree near p_in * size
+        assert g.average_degree > 0.25 * 30
+
+    def test_determinism(self):
+        a = gen.caveman_social(4, 20, seed=8)
+        b = gen.caveman_social(4, 20, seed=8)
+        assert (a.col_indices == b.col_indices).all()
+
+
+class TestRoadGrid:
+    def test_low_degree(self):
+        g = gen.road_grid(30, 30, seed=9)
+        assert g.average_degree < 5.0
+
+    def test_grid_backbone_connected_rows(self):
+        g = gen.road_grid(4, 4, diagonal_p=0, rewire_p=0, seed=0)
+        assert g.num_edges == 2 * 4 * 3  # pure lattice
+
+    def test_diagonals_create_triangles(self):
+        g = gen.road_grid(40, 40, diagonal_p=1.0, rewire_p=0, seed=0)
+        from repro.baselines import pmc_max_clique
+
+        assert pmc_max_clique(g).clique_number >= 3
+
+
+class TestTeamCollaboration:
+    def test_largest_team_is_max_clique(self):
+        g = gen.team_collaboration(800, 300, team_size_range=(2, 12), seed=10)
+        from repro.baselines import pmc_max_clique
+
+        omega = pmc_max_clique(g).clique_number
+        assert 2 <= omega <= 12
+
+    def test_bad_team_range(self):
+        with pytest.raises(ValueError):
+            gen.team_collaboration(100, 10, team_size_range=(1, 5))
+        with pytest.raises(ValueError):
+            gen.team_collaboration(100, 10, team_size_range=(6, 5))
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(0)
+        g = gen.team_collaboration(100, 20, seed=rng)
+        assert g.num_vertices == 100

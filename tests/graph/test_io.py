@@ -1,0 +1,148 @@
+"""Round-trip and failure-injection tests for graph file IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    load_graph,
+    read_dimacs,
+    read_edge_list,
+    read_mtx,
+    write_dimacs,
+    write_edge_list,
+    write_mtx,
+)
+from repro.graph import generators as gen
+
+
+@pytest.fixture
+def graph():
+    return gen.erdos_renyi(25, 0.3, seed=11)
+
+
+class TestEdgeList:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        g2 = read_edge_list(path)
+        assert (g2.col_indices == graph.col_indices).all()
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n0 1\n% another\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 3.5\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestMTX:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.mtx"
+        write_mtx(graph, path)
+        g2 = read_mtx(path)
+        assert (g2.col_indices == graph.col_indices).all()
+
+    def test_one_based_indexing(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 2\n"
+        )
+        g = read_mtx(path)
+        assert g.has_edge(0, 1)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("1 1 0\n")
+        with pytest.raises(GraphFormatError):
+            read_mtx(path)
+
+    def test_dense_format_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n")
+        with pytest.raises(GraphFormatError):
+            read_mtx(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            read_mtx(path)
+
+    def test_missing_size_line_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate pattern symmetric\n")
+        with pytest.raises(GraphFormatError):
+            read_mtx(path)
+
+    def test_values_ignored(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 0.5\n2 3 1.5\n"
+        )
+        g = read_mtx(path)
+        assert g.num_edges == 2
+
+
+class TestDIMACS:
+    def test_round_trip(self, graph, tmp_path):
+        path = tmp_path / "g.clq"
+        write_dimacs(graph, path)
+        g2 = read_dimacs(path)
+        assert (g2.col_indices == graph.col_indices).all()
+
+    def test_edge_before_problem_rejected(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("e 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("p edge 2 1\nx 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("c hello\np edge 3 1\ne 1 3\n")
+        g = read_dimacs(path)
+        assert g.has_edge(0, 2)
+
+    def test_missing_problem_line(self, tmp_path):
+        path = tmp_path / "g.clq"
+        path.write_text("c only comments\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+
+class TestLoadGraph:
+    @pytest.mark.parametrize(
+        "suffix,writer",
+        [(".edges", write_edge_list), (".mtx", write_mtx), (".clq", write_dimacs)],
+    )
+    def test_dispatch_by_extension(self, graph, tmp_path, suffix, writer):
+        path = tmp_path / f"g{suffix}"
+        writer(graph, path)
+        g2 = load_graph(path)
+        assert g2.num_edges == graph.num_edges
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_graph(tmp_path / "g.xyz")

@@ -1,0 +1,87 @@
+"""CLI tests (in-process via ``repro.cli.main``)."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators as gen
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.edges"
+    write_edge_list(gen.planted_clique(120, 7, avg_degree=3.0, seed=1), path)
+    return str(path)
+
+
+class TestSolve:
+    def test_solve_file(self, graph_file, capsys):
+        assert main(["solve", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "omega=7" in out
+        assert "clique:" in out
+
+    def test_solve_dataset_name(self, capsys):
+        assert main(["solve", "soc-comm-10x50", "--max-report", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "omega=" in out
+
+    def test_solve_windowed(self, graph_file, capsys):
+        assert main(["solve", graph_file, "--window", "64", "--adaptive"]) == 0
+        assert "omega=7" in capsys.readouterr().out
+
+    def test_solve_oom_exit_code(self, capsys):
+        code = main(
+            ["solve", "fb-comm-20x130", "--heuristic", "none", "--memory-mib", "2"]
+        )
+        assert code == 2
+        assert "OOM" in capsys.readouterr().out
+
+    def test_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "definitely-not-a-graph"])
+
+    def test_solve_json(self, graph_file, capsys):
+        import json
+
+        assert main(["solve", graph_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clique_number"] == 7
+        assert payload["num_maximum_cliques"] >= 1
+        assert payload["heuristic"]["kind"] == "multi-degree"
+        assert len(payload["cliques"][0]) == 7
+
+
+class TestInfo:
+    def test_info(self, graph_file, capsys):
+        assert main(["info", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy" in out
+        assert "prunability" in out
+
+    def test_info_no_triangles(self, graph_file, capsys):
+        assert main(["info", graph_file, "--no-triangles"]) == 0
+        assert "triangles" not in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "road-grid-60" in out
+        assert out.count("\n") == 58
+
+    def test_category_filter(self, capsys):
+        assert main(["datasets", "--category", "road"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 8
+
+
+class TestCompare:
+    def test_compare(self, graph_file, capsys):
+        assert main(["compare", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "breadth-first" in out
+        assert "PMC" in out
+        assert "warp-parallel" in out
+        assert "disagree" not in out

@@ -1,0 +1,104 @@
+"""Determinism guarantees: identical inputs produce identical outputs.
+
+The reproduction's whole value rests on runs being bit-identical
+across invocations and hosts: same datasets, same model times, same
+counters. These tests re-run representative pipelines twice and
+compare everything except wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Device, DeviceSpec, MaxCliqueSolver, SolverConfig
+from repro.baselines import gpu_dfs_max_clique, pmc_max_clique
+from repro.datasets.suite import SUITE, load
+from repro.graph import generators as gen
+
+MIB = 1 << 20
+
+
+def solve_twice(graph, **cfg):
+    outs = []
+    for _ in range(2):
+        dev = Device(DeviceSpec(memory_bytes=256 * MIB))
+        outs.append(MaxCliqueSolver(graph, SolverConfig(**cfg), dev).solve())
+    return outs
+
+
+class TestSolverDeterminism:
+    def test_full_bf_identical(self):
+        g = gen.caveman_social(5, 40, p_in=0.4, seed=1)
+        a, b = solve_twice(g)
+        assert a.clique_number == b.clique_number
+        assert a.num_maximum_cliques == b.num_maximum_cliques
+        assert (a.cliques == b.cliques).all()
+        assert a.model_time_s == b.model_time_s
+        assert a.peak_memory_bytes == b.peak_memory_bytes
+        assert a.candidates_stored == b.candidates_stored
+
+    def test_windowed_identical(self):
+        g = gen.erdos_renyi(40, 0.35, seed=2)
+        a, b = solve_twice(g, window_size=16)
+        assert (a.cliques == b.cliques).all()
+        assert a.model_time_s == b.model_time_s
+        assert [w.peak_bytes for w in a.windows] == [
+            w.peak_bytes for w in b.windows
+        ]
+
+    def test_chunking_never_changes_model_time(self):
+        # chunk_pairs is a host-side wall-time knob only
+        g = gen.erdos_renyi(40, 0.35, seed=3)
+        a = solve_twice(g, chunk_pairs=1 << 22)[0]
+        b = solve_twice(g, chunk_pairs=37)[0]
+        assert a.model_time_s == b.model_time_s
+        assert (a.cliques == b.cliques).all()
+
+
+class TestBaselineDeterminism:
+    def test_pmc(self):
+        g = gen.erdos_renyi(35, 0.4, seed=4)
+        a = pmc_max_clique(g)
+        b = pmc_max_clique(g)
+        assert a.model_time_s == b.model_time_s
+        assert (a.clique == b.clique).all()
+        assert a.nodes_explored == b.nodes_explored
+
+    def test_gpu_dfs(self):
+        g = gen.erdos_renyi(35, 0.4, seed=5)
+        a = gpu_dfs_max_clique(g)
+        b = gpu_dfs_max_clique(g)
+        assert a.model_time_s == b.model_time_s
+        assert (a.subtree_costs == b.subtree_costs).all()
+
+
+class TestDatasetDeterminism:
+    def test_suite_builds_identically(self):
+        spec = SUITE[10]
+        a = spec.build()
+        b = spec.build()
+        assert (a.row_offsets == b.row_offsets).all()
+        assert (a.col_indices == b.col_indices).all()
+
+
+#: golden clique numbers for a representative slice of the suite --
+#: recorded from the archived full regeneration; any change to these
+#: is a behavioural regression, not noise
+GOLDEN_OMEGA = {
+    "road-grid-60": 4,
+    "ca-team-1k": 9,
+    "bio-cl-1k": 10,
+    "bio-plant-3k": 12,
+    "tech-cl-2k": 6,
+    "web-rmat-10": 8,
+    "soc-comm-10x50": 7,
+}
+
+
+class TestGoldenResults:
+    @pytest.mark.parametrize("name,omega", sorted(GOLDEN_OMEGA.items()))
+    def test_golden_clique_numbers(self, name, omega):
+        g = load(name)
+        dev = Device(DeviceSpec(memory_bytes=256 * MIB))
+        r = MaxCliqueSolver(g, SolverConfig(), dev).solve()
+        assert r.clique_number == omega
+        assert pmc_max_clique(g).clique_number == omega

@@ -1,0 +1,57 @@
+"""End-to-end integration over the smallest surrogate datasets.
+
+Every suite category, every heuristic, full verification of the
+answers -- the closest thing to running the paper's pipeline on real
+inputs in the unit-test budget.
+"""
+
+import pytest
+
+from repro import Device, DeviceSpec, MaxCliqueSolver, SolverConfig
+from repro.baselines import gpu_dfs_max_clique, pmc_max_clique
+from repro.core.verify import verify_result
+from repro.datasets.suite import iter_suite
+
+MIB = 1 << 20
+
+SMALL = [
+    (spec, graph) for spec, graph in iter_suite(max_edges=12_000)
+]
+
+
+@pytest.mark.parametrize(
+    "spec,graph", SMALL, ids=[s.name for s, _ in SMALL]
+)
+def test_small_suite_graph_end_to_end(spec, graph):
+    dev = Device(DeviceSpec(memory_bytes=256 * MIB))
+    result = MaxCliqueSolver(graph, SolverConfig(), dev).solve()
+    verify_result(graph, result)
+
+    # PMC agrees on omega
+    pmc = pmc_max_clique(graph)
+    assert pmc.clique_number == result.clique_number, spec.name
+
+    # warp-DFS baseline agrees too
+    dfs = gpu_dfs_max_clique(graph, Device(DeviceSpec(memory_bytes=256 * MIB)))
+    assert dfs.clique_number == result.clique_number, spec.name
+
+    # windowed run agrees and yields a verified clique
+    win = MaxCliqueSolver(
+        graph, SolverConfig(window_size=1024), Device(DeviceSpec(memory_bytes=256 * MIB))
+    ).solve()
+    assert win.clique_number == result.clique_number, spec.name
+    verify_result(graph, win)
+
+
+@pytest.mark.parametrize(
+    "heuristic",
+    ["none", "single-degree", "single-core", "multi-degree", "multi-core"],
+)
+def test_heuristics_agree_on_smallest_graphs(heuristic):
+    for spec, graph in iter_suite(max_edges=8_000, limit=4):
+        dev = Device(DeviceSpec(memory_bytes=256 * MIB))
+        result = MaxCliqueSolver(
+            graph, SolverConfig(heuristic=heuristic), dev
+        ).solve()
+        assert result.clique_number == pmc_max_clique(graph).clique_number
+        assert result.heuristic.lower_bound <= result.clique_number
