@@ -1,0 +1,87 @@
+"""Per-stage breakdown of the staged pipeline solver.
+
+Exercises the stage-based pipeline (``repro.pipeline``) on a
+representative graph per category and records where the model time
+goes: csr_upload / preprocess / heuristic / setup / bfs (or
+windowed). The qualitative assertion mirrors the paper's narrative
+(Section V): on prunable graphs the heuristic + setup phases dominate
+and the search itself is cheap, because the 2-clique list shrinks to
+(almost) nothing before BFS starts.
+"""
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import MaxCliqueSolver
+from repro.graph import generators as gen
+from repro.gpusim import Device, DeviceSpec
+from repro.trace import JsonTracer
+
+MIB = 1 << 20
+
+GRAPHS = {
+    "planted": lambda: gen.planted_clique(2_000, 12, avg_degree=6.0, seed=11),
+    "power-law": lambda: gen.chung_lu_power_law(5_000, 8.0, seed=3),
+    "social": lambda: gen.caveman_social(12, 50, p_in=0.3, seed=7),
+}
+
+STAGES_FULL = ["csr_upload", "preprocess", "heuristic", "setup", "bfs"]
+STAGES_WINDOWED = ["csr_upload", "preprocess", "heuristic", "setup", "windowed"]
+
+
+def _solve(graph, config, tracer=None):
+    device = Device(DeviceSpec(memory_bytes=256 * MIB))
+    solver = MaxCliqueSolver(graph, config, device, tracer=tracer) \
+        if tracer is not None else MaxCliqueSolver(graph, config, device)
+    return solver.solve()
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_stage_breakdown(benchmark, name):
+    graph = GRAPHS[name]()
+    result = benchmark.pedantic(
+        lambda: _solve(graph, SolverConfig()),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    # every pipeline stage appears, in execution order
+    assert list(result.stage_times) == STAGES_FULL
+    assert all(t >= 0.0 for t in result.stage_times.values())
+    # the breakdown accounts for the whole solve on a fresh device
+    assert sum(result.stage_times.values()) == pytest.approx(
+        result.model_time_s, rel=1e-9
+    )
+    total = result.model_time_s
+    rows = "  ".join(
+        f"{stage}={t / total:6.1%}" if total else f"{stage}=n/a"
+        for stage, t in result.stage_times.items()
+    )
+    print(f"\n{name:10s} omega={result.clique_number}  {rows}")
+
+
+def test_stage_breakdown_windowed(benchmark):
+    graph = GRAPHS["planted"]()
+    result = benchmark.pedantic(
+        lambda: _solve(graph, SolverConfig(window_size=256)),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert list(result.stage_times) == STAGES_WINDOWED
+    assert sum(result.stage_times.values()) == pytest.approx(
+        result.model_time_s, rel=1e-9
+    )
+
+
+def test_traced_run_matches_stage_times(benchmark):
+    """The tracer's stage spans agree with the breakdown dict."""
+    graph = GRAPHS["power-law"]()
+    tracer = JsonTracer()
+    result = benchmark.pedantic(
+        lambda: _solve(graph, SolverConfig(), tracer=tracer),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    spans = {s.name: s.model_time_s for s in tracer.stage_spans()}
+    for stage, t in result.stage_times.items():
+        assert spans[stage] == pytest.approx(t, rel=1e-12)
+    # all kernel model time is attributed to some stage span
+    assert sum(tracer.kernel_totals().values()) == pytest.approx(
+        result.model_time_s, rel=1e-9
+    )

@@ -25,6 +25,9 @@ Public entry points
     The 58-graph surrogate evaluation suite.
 :mod:`repro.experiments`
     Regeneration of every table and figure in the paper.
+:mod:`repro.pipeline` / :mod:`repro.trace`
+    The stage-based solve pipeline and the structured tracer
+    (docs/OBSERVABILITY.md).
 """
 
 from .core import (
@@ -46,6 +49,7 @@ from .errors import (
 )
 from .gpusim import Device, DeviceSpec
 from .graph import CSRGraph
+from .trace import NULL_TRACER, JsonTracer, NullTracer, Tracer
 
 __version__ = "1.0.0"
 
@@ -61,6 +65,10 @@ __all__ = [
     "CSRGraph",
     "Device",
     "DeviceSpec",
+    "Tracer",
+    "NullTracer",
+    "JsonTracer",
+    "NULL_TRACER",
     "ReproError",
     "DeviceOOMError",
     "DeviceStateError",

@@ -33,14 +33,15 @@ shape for the machine.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from ..graph.kcore import core_numbers
 from ..gpusim.device import Device
+from ..trace import NULL_TRACER, Tracer
 from .pmc import _color_sort, _OpCounter, _words
 
 __all__ = ["GPUDFSResult", "gpu_dfs_max_clique"]
@@ -63,6 +64,8 @@ class GPUDFSResult:
     subtree_costs: np.ndarray  # per-root lockstep step counts
     warps_used: int
     nodes_explored: int
+    #: model seconds per phase (same stage naming as the pipeline solver)
+    stage_model_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def imbalance(self) -> float:
@@ -77,6 +80,7 @@ def gpu_dfs_max_clique(
     graph: CSRGraph,
     device: Optional[Device] = None,
     lower_bound: int = 1,
+    tracer: Tracer = NULL_TRACER,
 ) -> GPUDFSResult:
     """Find one maximum clique with a warp-parallel DFS on the device.
 
@@ -85,10 +89,32 @@ def gpu_dfs_max_clique(
     the candidate set plus the colour-sort steps. The whole search is
     charged as one device kernel with a *warp-granular* cost array, so
     the device model's latency bound exposes the imbalance.
+
+    A recording ``tracer`` sees ``gpu_dfs.preprocess`` /
+    ``gpu_dfs.search`` spans on the device model clock plus the
+    kernel's charge event -- the same schema as the pipeline solver,
+    so compare runs share one trace.
     """
     t0 = time.perf_counter()
     if device is None:
         device = Device()
+    prev_hook = (
+        device.set_trace_hook(tracer.on_kernel) if tracer.enabled else None
+    )
+    try:
+        return _gpu_dfs(graph, device, lower_bound, tracer, t0)
+    finally:
+        if tracer.enabled:
+            device.set_trace_hook(prev_hook)
+
+
+def _gpu_dfs(
+    graph: CSRGraph,
+    device: Device,
+    lower_bound: int,
+    tracer: Tracer,
+    t0: float,
+) -> GPUDFSResult:
     n = graph.num_vertices
     if n == 0:
         return GPUDFSResult(
@@ -101,7 +127,11 @@ def gpu_dfs_max_clique(
             time.perf_counter() - t0, np.zeros(n), n, 0,
         )
 
-    core = core_numbers(graph, device)
+    clock = lambda: device.model_time_s  # noqa: E731
+    m0 = device.model_time_s
+    with tracer.span("gpu_dfs.preprocess", category="stage", model_clock=clock):
+        core = core_numbers(graph, device)
+    preprocess_time = device.model_time_s - m0
     warp = device.spec.warp_size
     order = np.argsort(core, kind="stable")
     pos = np.empty(n, dtype=np.int64)
@@ -116,28 +146,31 @@ def gpu_dfs_max_clique(
     counter = _OpCounter()
     total_nodes = 0
 
-    for v in order.tolist():
-        if core[v] + 1 <= lb0:
-            continue
-        nbrs = graph.neighbors(v)
-        cand = nbrs[(pos[nbrs] > pos[v]) & (core[nbrs] >= lb0)]
-        if cand.size < lb0:
-            continue
-        counter.nodes = 0
-        steps = _warp_dfs_root(graph, v, cand, lb0, warp, counter)
-        total_nodes += counter.nodes
-        size, members = steps[1], steps[2]
-        subtree_costs.append(steps[0])
-        if size > lb and members:
-            lb = size
-            best = members
+    with tracer.span("gpu_dfs.search", category="stage", model_clock=clock):
+        for v in order.tolist():
+            if core[v] + 1 <= lb0:
+                continue
+            nbrs = graph.neighbors(v)
+            cand = nbrs[(pos[nbrs] > pos[v]) & (core[nbrs] >= lb0)]
+            if cand.size < lb0:
+                continue
+            counter.nodes = 0
+            steps = _warp_dfs_root(graph, v, cand, lb0, warp, counter)
+            total_nodes += counter.nodes
+            size, members = steps[1], steps[2]
+            subtree_costs.append(steps[0])
+            if size > lb and members:
+                lb = size
+                best = members
 
-    # the whole sweep is one kernel: each subtree is one warp's serial
-    # chain, expanded to warp-size lanes of identical (lockstep) cost
-    costs = np.asarray(subtree_costs, dtype=np.float64)
-    if costs.size:
-        lane_costs = np.repeat(costs, warp)
-        device.launch(lane_costs, name="gpu_dfs")
+        # the whole sweep is one kernel: each subtree is one warp's
+        # serial chain, expanded to warp-size lanes of identical
+        # (lockstep) cost
+        costs = np.asarray(subtree_costs, dtype=np.float64)
+        if costs.size:
+            lane_costs = np.repeat(costs, warp)
+            device.launch(lane_costs, name="gpu_dfs")
+    tracer.counter("gpu_dfs.nodes_explored", total_nodes)
 
     return GPUDFSResult(
         clique_number=lb,
@@ -147,6 +180,10 @@ def gpu_dfs_max_clique(
         subtree_costs=costs,
         warps_used=costs.size,
         nodes_explored=total_nodes,
+        stage_model_times={
+            "preprocess": preprocess_time,
+            "search": device.model_time_s - m0 - preprocess_time,
+        },
     )
 
 

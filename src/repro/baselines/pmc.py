@@ -27,14 +27,15 @@ but is *not* used for cross-device comparisons.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..gpusim.spec import CPUSpec, EPYC_LIKE
 from ..graph.csr import CSRGraph
 from ..graph.kcore import core_numbers
+from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["PMCResult", "pmc_max_clique", "pmc_heuristic"]
 
@@ -65,6 +66,10 @@ class PMCResult:
         Host wall time of this Python implementation (informational).
     nodes_explored:
         Branch & bound tree nodes visited.
+    stage_model_times:
+        Model seconds per phase (``preprocess`` / ``heuristic`` /
+        ``search``), the same stage naming the pipeline solver uses,
+        so compare runs break down apples-to-apples.
     """
 
     clique_number: int
@@ -76,6 +81,7 @@ class PMCResult:
     model_time_s: float
     wall_time_s: float
     nodes_explored: int
+    stage_model_times: Dict[str, float] = field(default_factory=dict)
 
 
 class _OpCounter:
@@ -145,6 +151,7 @@ def pmc_max_clique(
     spec: CPUSpec = EPYC_LIKE,
     use_heuristic: bool = True,
     use_coloring: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> PMCResult:
     """Find one maximum clique with the PMC-style branch & bound.
 
@@ -159,9 +166,15 @@ def pmc_max_clique(
         CPU throughput model.
     use_heuristic / use_coloring:
         Ablation switches for the heuristic phase and colouring bound.
+    tracer:
+        Structured tracer; phases appear as ``pmc.preprocess`` /
+        ``pmc.heuristic`` / ``pmc.search`` spans on the PMC model
+        clock, so a compare run shares one trace with the GPU solvers.
     """
     t0 = time.perf_counter()
     counter = _OpCounter()
+    # the PMC model clock: ops counted so far through the CPU spec
+    clock = lambda: spec.time_for_ops(counter.alu, threads, counter.mem)  # noqa: E731
     n = graph.num_vertices
     if n == 0:
         return PMCResult(0, np.zeros(0, np.int32), 0, 0.0, 0.0, threads, 0.0, 0.0, 0)
@@ -171,37 +184,47 @@ def pmc_max_clique(
             spec.time_for_ops(n, threads), time.perf_counter() - t0, 0,
         )
 
-    core = core_numbers(graph)
-    counter.mem += graph.num_directed_edges  # k-core peeling pass
+    stage_times: Dict[str, float] = {}
+    with tracer.span("pmc.preprocess", category="stage", model_clock=clock):
+        core = core_numbers(graph)
+        counter.mem += graph.num_directed_edges  # k-core peeling pass
+    stage_times["preprocess"] = clock()
 
-    if use_heuristic:
-        lb, best = pmc_heuristic(graph, core, counter)
-        heuristic_bound = lb
-    else:
-        lb, best = 1, [int(np.argmax(graph.degrees))]
-        heuristic_bound = 1
+    with tracer.span("pmc.heuristic", category="stage", model_clock=clock):
+        if use_heuristic:
+            lb, best = pmc_heuristic(graph, core, counter)
+            heuristic_bound = lb
+        else:
+            lb, best = 1, [int(np.argmax(graph.degrees))]
+            heuristic_bound = 1
+    stage_times["heuristic"] = clock() - stage_times["preprocess"]
 
     # root vertices in ascending degeneracy-order position: process
     # low-core roots first so each root's candidate set (later
     # neighbours only) stays small -- the standard PMC sweep
-    order = np.argsort(core, kind="stable")
-    pos = np.empty(n, dtype=np.int64)
-    pos[order] = np.arange(n)
+    with tracer.span("pmc.search", category="stage", model_clock=clock):
+        order = np.argsort(core, kind="stable")
+        pos = np.empty(n, dtype=np.int64)
+        pos[order] = np.arange(n)
 
-    for v in order.tolist():
-        if core[v] + 1 <= lb:
-            continue
-        nbrs = graph.neighbors(v)
-        # only later-ordered neighbours: each clique is rooted at its
-        # first vertex in degeneracy order
-        cand = nbrs[(pos[nbrs] > pos[v]) & (core[nbrs] >= lb)]
-        counter.mem += nbrs.size
-        if cand.size < lb:  # cannot form a clique beating lb with v
-            continue
-        size, members = _search_root(graph, v, cand, lb, counter, use_coloring)
-        if size > lb:
-            lb = size
-            best = members
+        for v in order.tolist():
+            if core[v] + 1 <= lb:
+                continue
+            nbrs = graph.neighbors(v)
+            # only later-ordered neighbours: each clique is rooted at
+            # its first vertex in degeneracy order
+            cand = nbrs[(pos[nbrs] > pos[v]) & (core[nbrs] >= lb)]
+            counter.mem += nbrs.size
+            if cand.size < lb:  # cannot form a clique beating lb with v
+                continue
+            size, members = _search_root(graph, v, cand, lb, counter, use_coloring)
+            if size > lb:
+                lb = size
+                best = members
+    stage_times["search"] = (
+        clock() - stage_times["heuristic"] - stage_times["preprocess"]
+    )
+    tracer.counter("pmc.nodes_explored", counter.nodes)
 
     return PMCResult(
         clique_number=lb,
@@ -213,6 +236,7 @@ def pmc_max_clique(
         model_time_s=spec.time_for_ops(counter.alu, threads, counter.mem),
         wall_time_s=time.perf_counter() - t0,
         nodes_explored=counter.nodes,
+        stage_model_times=stage_times,
     )
 
 

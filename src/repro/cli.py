@@ -9,6 +9,12 @@
 
 ``GRAPH`` is a file (.edges/.txt/.mtx/.clq/...) or the name of a
 surrogate suite dataset (see ``python -m repro datasets``).
+
+Global options: ``--log-level {debug,info,warning,error}`` controls
+the ``repro`` logger hierarchy (``debug`` shows per-stage timings);
+``solve``/``compare`` accept ``--trace PATH`` (JSON trace, schema in
+docs/OBSERVABILITY.md) and ``--trace-chrome PATH`` (``chrome://tracing``
+format).
 """
 
 from __future__ import annotations
@@ -25,10 +31,15 @@ from .graph.csr import CSRGraph
 from .graph.io import load_graph
 from .gpusim.device import Device
 from .gpusim.spec import DeviceSpec
+from .log import configure as configure_logging, get_logger
+from .trace import NULL_TRACER, JsonTracer
 
 __all__ = ["main"]
 
 MIB = 1 << 20
+
+#: CLI output channel: results and listings, INFO level, plain stdout.
+out = get_logger("cli")
 
 
 def _load(name: str) -> CSRGraph:
@@ -44,6 +55,42 @@ def _load(name: str) -> CSRGraph:
             f"error: {name!r} is neither a readable file nor a suite "
             f"dataset (try `python -m repro datasets`)"
         )
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A recording tracer when any trace output was requested."""
+    if args.trace or args.trace_chrome:
+        return JsonTracer()
+    return NULL_TRACER
+
+
+def _export_trace(tracer, args: argparse.Namespace) -> None:
+    """Write requested trace files (also after OOM/timeout: partial
+    traces are exactly what one wants when diagnosing those)."""
+    if not getattr(tracer, "enabled", False):
+        return
+    # --json mode keeps stdout machine-parseable: demote to debug
+    note = out.debug if getattr(args, "json", False) else out.info
+    try:
+        if args.trace:
+            tracer.write_json(args.trace)
+            note(f"trace: wrote {args.trace}")
+        if args.trace_chrome:
+            tracer.write_chrome_trace(args.trace_chrome)
+            note(f"trace: wrote {args.trace_chrome} (chrome://tracing)")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace: {exc}")
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a structured JSON trace (spans, kernels, counters)",
+    )
+    p.add_argument(
+        "--trace-chrome", metavar="PATH", default=None,
+        help="write a Chrome-trace-format timeline (chrome://tracing)",
+    )
 
 
 def _add_solver_args(p: argparse.ArgumentParser) -> None:
@@ -81,6 +128,7 @@ def _add_solver_args(p: argparse.ArgumentParser) -> None:
         "--json", action="store_true",
         help="emit a machine-readable JSON result instead of text",
     )
+    _add_trace_args(p)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -97,17 +145,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         max_cliques_report=max(args.max_report, 1),
     )
     device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
+    tracer = _make_tracer(args)
     if not args.json:
-        print(f"graph: {graph}")
+        out.info(f"graph: {graph}")
     try:
-        result = MaxCliqueSolver(graph, config, device).solve()
+        result = MaxCliqueSolver(graph, config, device, tracer=tracer).solve()
     except DeviceOOMError as exc:
-        print(f"OOM: {exc}")
-        print("hint: try --window 1024 (optionally --adaptive), a stronger")
-        print("      --heuristic, or a larger --memory-mib budget")
+        out.info(f"OOM: {exc}")
+        out.info("hint: try --window 1024 (optionally --adaptive), a stronger")
+        out.info("      --heuristic, or a larger --memory-mib budget")
+        _export_trace(tracer, args)
         return 2
     except SolveTimeoutError as exc:
-        print(f"timeout: {exc}")
+        out.info(f"timeout: {exc}")
+        _export_trace(tracer, args)
         return 3
     if args.json:
         import json
@@ -127,16 +178,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             "peak_memory_bytes": result.peak_memory_bytes,
             "pruned_fraction": result.pruned_fraction,
             "windows": len(result.windows),
+            "stage_model_times_s": result.stage_times,
         }
-        print(json.dumps(payload, indent=2))
+        # machine-readable output bypasses logging so piping always works
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+        _export_trace(tracer, args)
         return 0
-    print(result.summary())
+    out.info(result.summary())
     shown = min(args.max_report, len(result.cliques))
     for row in result.cliques[:shown]:
-        print("  clique:", " ".join(str(int(v)) for v in row))
+        out.info("  clique: " + " ".join(str(int(v)) for v in row))
     extra = result.num_maximum_cliques - shown
     if extra > 0 and result.enumerated_all:
-        print(f"  ... and {extra} more maximum clique(s)")
+        out.info(f"  ... and {extra} more maximum clique(s)")
+    if result.stage_times:
+        breakdown = "  ".join(
+            f"{name}={t * 1e3:.3f}ms" for name, t in result.stage_times.items()
+        )
+        out.debug(f"  stages: {breakdown}")
+    _export_trace(tracer, args)
     return 0
 
 
@@ -145,14 +205,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
     graph = _load(args.graph)
     stats = analyze(graph, triangles=not args.no_triangles)
-    print(f"graph:             {graph}")
-    print(f"max degree:        {stats.max_degree}")
-    print(f"degree p90/p99:    {stats.degree_p90:.0f} / {stats.degree_p99:.0f}")
-    print(f"degeneracy:        {stats.degeneracy} (omega <= {stats.clique_upper_bound})")
+    out.info(f"graph:             {graph}")
+    out.info(f"max degree:        {stats.max_degree}")
+    out.info(f"degree p90/p99:    {stats.degree_p90:.0f} / {stats.degree_p99:.0f}")
+    out.info(
+        f"degeneracy:        {stats.degeneracy} (omega <= {stats.clique_upper_bound})"
+    )
     if not args.no_triangles:
-        print(f"triangles:         {stats.triangles}")
-        print(f"clustering:        {stats.global_clustering:.4f}")
-    print(f"prunability:       {stats.hardness_hint()}")
+        out.info(f"triangles:         {stats.triangles}")
+        out.info(f"clustering:        {stats.global_clustering:.4f}")
+    out.info(f"prunability:       {stats.hardness_hint()}")
     return 0
 
 
@@ -164,12 +226,12 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
             continue
         if args.sizes:
             g = load_dataset(spec.name)
-            print(
+            out.info(
                 f"{spec.name:24s} {spec.category:8s} |V|={g.num_vertices:>7d} "
                 f"|E|={g.num_edges:>8d} deg={g.average_degree:6.1f}  {spec.notes}"
             )
         else:
-            print(f"{spec.name:24s} {spec.category:8s} {spec.notes}")
+            out.info(f"{spec.name:24s} {spec.category:8s} {spec.notes}")
     return 0
 
 
@@ -178,31 +240,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .baselines.pmc import pmc_max_clique
 
     graph = _load(args.graph)
-    print(f"graph: {graph}")
+    out.info(f"graph: {graph}")
+    # one tracer spans all three solvers, so a single trace file shows
+    # the per-phase comparison apples-to-apples
+    tracer = _make_tracer(args)
     device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
     try:
-        bf = MaxCliqueSolver(graph, SolverConfig(), device).solve()
-        print(
+        bf = MaxCliqueSolver(graph, SolverConfig(), device, tracer=tracer).solve()
+        out.info(
             f"breadth-first (this paper): omega={bf.clique_number} "
             f"x{bf.num_maximum_cliques}  model={bf.model_time_s * 1e3:.3f} ms"
         )
         omega = bf.clique_number
     except DeviceOOMError:
-        print("breadth-first (this paper): OOM at this budget")
+        out.info("breadth-first (this paper): OOM at this budget")
         omega = None
-    pmc = pmc_max_clique(graph)
-    print(
+    pmc = pmc_max_clique(graph, tracer=tracer)
+    out.info(
         f"PMC CPU branch&bound:       omega={pmc.clique_number}  "
         f"model={pmc.model_time_s * 1e3:.3f} ms"
     )
-    dfs = gpu_dfs_max_clique(graph, Device(DeviceSpec(memory_bytes=args.memory_mib * MIB)))
-    print(
+    dfs = gpu_dfs_max_clique(
+        graph,
+        Device(DeviceSpec(memory_bytes=args.memory_mib * MIB)),
+        tracer=tracer,
+    )
+    out.info(
         f"warp-parallel GPU DFS:      omega={dfs.clique_number}  "
         f"model={dfs.model_time_s * 1e3:.3f} ms  "
         f"(subtree imbalance {dfs.imbalance:.1f}x)"
     )
+    _export_trace(tracer, args)
     if omega is not None and not (omega == pmc.clique_number == dfs.clique_number):
-        print("warning: solvers disagree!")
+        out.info("warning: solvers disagree!")
         return 1
     return 0
 
@@ -210,6 +280,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Maximum clique enumeration on a simulated GPU"
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help="repro logger level (debug shows per-stage timings)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -231,9 +307,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp = sub.add_parser("compare", help="BF vs PMC vs warp-DFS")
     p_cmp.add_argument("graph")
     p_cmp.add_argument("--memory-mib", type=int, default=192)
+    _add_trace_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
     return args.func(args)
 
 

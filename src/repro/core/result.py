@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -122,6 +122,10 @@ class MaxCliqueResult:
         Final device counter snapshot.
     model_time_s / wall_time_s:
         Total deterministic model time and host wall time.
+    stage_times:
+        Model seconds per pipeline stage, in execution order (stage
+        names as in :mod:`repro.pipeline.stages`); empty for trivial
+        solves that ran no pipeline.
     """
 
     clique_number: int
@@ -140,6 +144,7 @@ class MaxCliqueResult:
     device_stats: Optional[DeviceStats] = None
     model_time_s: float = 0.0
     wall_time_s: float = 0.0
+    stage_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def pruned_fraction(self) -> float:

@@ -1,14 +1,22 @@
 """Top-level maximum clique solver (public API).
 
-Orchestrates the paper's full pipeline (Section IV):
+Assembles and runs the paper's full pipeline (Section IV) as a list of
+composable stages over one shared execution context (see
+:mod:`repro.pipeline`):
 
-1. optional k-core decomposition (when a core-number variant is
-   configured),
-2. greedy heuristic lower bound ω̄,
-3. 2-clique list formation with orientation, pre-pruning, and
-   within-sublist ordering,
-4. the breadth-first search -- full (enumerating every maximum
-   clique) or windowed (one maximum clique under a memory budget).
+1. ``csr_upload`` -- the CSR arrays move to device global memory,
+2. ``preprocess`` -- rank values (k-core decomposition when a
+   core-number variant is configured),
+3. ``heuristic`` -- greedy heuristic lower bound ω̄,
+4. ``setup`` -- 2-clique list formation with orientation, pre-pruning,
+   and within-sublist ordering,
+5. ``bfs`` / ``windowed`` -- the breadth-first search: full
+   (enumerating every maximum clique) or windowed (one maximum clique
+   under a memory budget).
+
+Pass a recording tracer (:class:`repro.trace.JsonTracer`) to observe
+per-stage spans and per-kernel events; the default no-op tracer leaves
+model-time numbers untouched.
 
 Quickstart
 ----------
@@ -22,20 +30,19 @@ Quickstart
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
-from ..graph.kcore import core_numbers
-from .bfs import bfs_search
-from .config import Heuristic, RankKey, SolverConfig
-from .heuristics import run_heuristic
+from ..trace import NULL_TRACER, Tracer
+from .config import SolverConfig
 from .result import HeuristicReport, MaxCliqueResult
-from .setup import build_two_clique_list
-from .windowed import windowed_search
+
+if TYPE_CHECKING:  # pipeline imports this module's package: keep lazy
+    from ..pipeline.context import ExecutionContext
+    from ..pipeline.stages import Stage
 
 __all__ = ["MaxCliqueSolver", "find_maximum_cliques"]
 
@@ -55,6 +62,10 @@ class MaxCliqueSolver:
         Simulated device; a fresh default device is created when
         omitted. Pass a shared device to accumulate statistics across
         solves or to model a specific memory budget.
+    tracer:
+        Structured tracer receiving per-stage spans, per-kernel
+        events, and counters (see :mod:`repro.trace`); the default
+        no-op tracer records nothing and changes nothing.
     """
 
     def __init__(
@@ -62,10 +73,23 @@ class MaxCliqueSolver:
         graph: CSRGraph,
         config: Optional[SolverConfig] = None,
         device: Optional[Device] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else SolverConfig()
         self.device = device if device is not None else Device()
+        self.tracer = tracer
+
+    def stages(self) -> List[Stage]:
+        """The stage list :meth:`solve` will run (assembly point).
+
+        Override or monkey-patch to observe, reorder, or extend the
+        pipeline; the default is the paper's pipeline for the current
+        configuration.
+        """
+        from ..pipeline.stages import default_stages
+
+        return default_stages(self.config)
 
     def solve(self) -> MaxCliqueResult:
         """Run the full pipeline and return the result.
@@ -76,313 +100,54 @@ class MaxCliqueSolver:
             When the candidate set exceeds the device memory budget
             (the experiment harness records these as OOM outcomes).
         """
-        graph, config, device = self.graph, self.config, self.device
-        t0 = time.perf_counter()
-        self._deadline = (
-            t0 + config.time_limit_s if config.time_limit_s is not None else None
-        )
-        m0 = device.model_time_s
-        device.pool.reset_peak()
-        base_mem = device.pool.in_use_bytes
+        from ..pipeline.context import ExecutionContext
+        from ..pipeline.runner import run_pipeline
 
-        trivial = self._trivial_result(t0, m0)
+        ctx = ExecutionContext.begin(
+            self.graph, self.config, self.device, self.tracer
+        )
+        trivial = self._trivial_result(ctx)
         if trivial is not None:
             return trivial
-
-        # CSR resides in device global memory for the whole computation
-        csr_mem = device.from_host(graph.row_offsets, label="csr.row_offsets")
-        csr_cols = device.from_host(graph.col_indices, label="csr.col_indices")
-        try:
-            # (1) rank values; core-number variants pay for the k-core here
-            if config.heuristic.uses_core_numbers or (
-                config.orientation_key is RankKey.CORE
-            ):
-                ranks = core_numbers(graph, device)
-            else:
-                ranks = graph.degrees
-
-            # (2) heuristic lower bound
-            heuristic = run_heuristic(
-                graph,
-                config.heuristic,
-                device,
-                h=config.heuristic_runs,
-                ranks=ranks if config.heuristic is not Heuristic.NONE else None,
-            )
-            omega_bar = max(heuristic.lower_bound, 2)
-
-            # (3) the 2-clique list
-            src, dst, setup_stats = build_two_clique_list(
-                graph,
-                omega_bar,
-                device,
-                ranks=ranks,
-                orientation_key=config.orientation_key,
-                sublist_order=config.sublist_order,
-                coloring_preprune=config.coloring_preprune,
-            )
-
-            # (4) breadth-first search, full or windowed
-            if config.windowed:
-                return self._solve_windowed(
-                    src, dst, omega_bar, heuristic, setup_stats, t0, m0, base_mem
-                )
-            return self._solve_full(
-                src, dst, omega_bar, heuristic, setup_stats, t0, m0, base_mem
-            )
-        finally:
-            csr_mem.free()
-            csr_cols.free()
+        run_pipeline(self.stages(), ctx)
+        return ctx.result
 
     # ------------------------------------------------------------------
-    def _trivial_result(self, t0: float, m0: float) -> Optional[MaxCliqueResult]:
-        """Handle empty and edgeless graphs without a search."""
+    def _trivial_result(self, ctx: "ExecutionContext") -> Optional[MaxCliqueResult]:
+        """Handle empty and edgeless graphs without a pipeline run."""
+        from ..pipeline.stages import build_result
+
         graph = self.graph
         if graph.num_vertices == 0:
-            empty = HeuristicReport("none", 0, np.zeros(0, dtype=np.int32))
-            return self._result(
+            ctx.heuristic = HeuristicReport("none", 0, np.zeros(0, dtype=np.int32))
+            return build_result(
+                ctx,
                 omega=0,
                 count=0,
                 cliques=np.zeros((0, 0), dtype=np.int32),
                 found_by="trivial",
-                heuristic=empty,
-                t0=t0,
-                m0=m0,
-                base_mem=self.device.pool.in_use_bytes,
             )
         if graph.num_edges == 0:
             # every vertex is a maximum clique of size 1
             n = graph.num_vertices
             cap = min(n, self.config.max_cliques_report)
             cliques = np.arange(cap, dtype=np.int32).reshape(-1, 1)
-            report = HeuristicReport(
-                "none", 1, np.zeros(0, dtype=np.int32)
-            )
-            return self._result(
+            ctx.heuristic = HeuristicReport("none", 1, np.zeros(0, dtype=np.int32))
+            return build_result(
+                ctx,
                 omega=1,
                 count=n,
                 cliques=cliques,
                 found_by="trivial",
-                heuristic=report,
-                t0=t0,
-                m0=m0,
-                base_mem=self.device.pool.in_use_bytes,
             )
         return None
-
-    def _single_sublist_shortcut(
-        self, src, dst, omega_bar, heuristic, setup_stats, t0, m0, base_mem
-    ) -> Optional[MaxCliqueResult]:
-        """Paper Section IV-C: skip the exact search when pruning left
-        exactly one sublist of length ω̄ - 1.
-
-        Every surviving candidate clique lives inside that sublist, and
-        an ω̄-clique needs *all* of it plus the source -- so if that
-        vertex set is a clique (it contains the heuristic's own clique
-        of the same size, so it is), it is the unique maximum clique.
-        """
-        if src.size == 0 or src.size != omega_bar - 1:
-            return None
-        if np.unique(src).size != 1:
-            return None
-        members = np.concatenate([[src[0]], dst]).astype(np.int64)
-        iu, iv = np.triu_indices(members.size, k=1)
-        self.device.launch(
-            self.graph.lookup_cost[members[iu]].astype(np.float64),
-            name="shortcut_verify",
-        )
-        if not self.graph.batch_has_edge(members[iu], members[iv]).all():
-            return None  # not a clique: fall through to the exact search
-        clique = np.sort(members).astype(np.int32)
-        return self._result(
-            omega=int(clique.size),
-            count=1,
-            cliques=clique.reshape(1, -1),
-            found_by="heuristic",
-            heuristic=heuristic,
-            setup=setup_stats,
-            pruned=setup_stats.pruned_2cliques,
-            stored=int(src.size),
-            t0=t0,
-            m0=m0,
-            base_mem=base_mem,
-        )
-
-    def _solve_full(
-        self, src, dst, omega_bar, heuristic, setup_stats, t0, m0, base_mem
-    ) -> MaxCliqueResult:
-        """Full breadth-first enumeration of all maximum cliques."""
-        config, device, graph = self.config, self.device, self.graph
-        shortcut = self._single_sublist_shortcut(
-            src, dst, omega_bar, heuristic, setup_stats, t0, m0, base_mem
-        )
-        if shortcut is not None:
-            return shortcut
-        outcome = bfs_search(
-            graph,
-            src,
-            dst,
-            omega_bar,
-            device,
-            chunk_pairs=config.chunk_pairs,
-            early_exit_heuristic=config.early_exit_heuristic
-            and not config.enumerate_all
-            and heuristic.clique.size >= 2,
-            deadline=self._deadline,
-        )
-        try:
-            if outcome.omega == 0:
-                # everything <omega_bar was pruned away: the heuristic
-                # clique is the unique maximum (setup proved it)
-                clique = np.sort(heuristic.clique)
-                result = self._result(
-                    omega=int(clique.size),
-                    count=1,
-                    cliques=clique.reshape(1, -1),
-                    found_by="heuristic",
-                    heuristic=heuristic,
-                    setup=setup_stats,
-                    levels=outcome.levels,
-                    t0=t0,
-                    m0=m0,
-                    base_mem=base_mem,
-                )
-                return result
-            head = outcome.clique_list.head
-            count = head.size
-            if outcome.stopped_by_heuristic:
-                clique = np.sort(heuristic.clique)
-                cliques = clique.reshape(1, -1)
-                count = 1
-                found_by = "heuristic"
-                omega = heuristic.lower_bound
-            else:
-                cliques = outcome.clique_list.read_cliques(
-                    limit=config.max_cliques_report
-                )
-                cliques = np.sort(cliques, axis=1)
-                found_by = "search"
-                omega = outcome.omega
-            return self._result(
-                omega=omega,
-                count=count,
-                cliques=cliques,
-                found_by=found_by,
-                heuristic=heuristic,
-                setup=setup_stats,
-                levels=outcome.levels,
-                stored=outcome.candidates_stored,
-                pruned=outcome.candidates_pruned + setup_stats.pruned_2cliques,
-                search_mem=outcome.clique_list.total_bytes,
-                t0=t0,
-                m0=m0,
-                base_mem=base_mem,
-            )
-        finally:
-            outcome.clique_list.free_all()
-
-    def _solve_windowed(
-        self, src, dst, omega_bar, heuristic, setup_stats, t0, m0, base_mem
-    ) -> MaxCliqueResult:
-        """Windowed search for a single maximum clique."""
-        config, device, graph = self.config, self.device, self.graph
-        if config.window_fanout > 1:
-            from .concurrent import concurrent_windowed_search
-            from .windowed import auto_window_size
-
-            window_size = config.window_size
-            if isinstance(window_size, str):
-                window_size = auto_window_size(graph, device, src.size)
-            outcome = concurrent_windowed_search(
-                graph,
-                src,
-                dst,
-                omega_bar,
-                heuristic.clique,
-                device,
-                window_size=window_size,
-                fanout=config.window_fanout,
-                window_order=config.window_order,
-                chunk_pairs=config.chunk_pairs,
-                deadline=self._deadline,
-            )
-        else:
-            outcome = windowed_search(
-                graph,
-                src,
-                dst,
-                omega_bar,
-                heuristic.clique,
-                device,
-                window_size=config.window_size,
-                window_order=config.window_order,
-                chunk_pairs=config.chunk_pairs,
-                early_exit_heuristic=config.early_exit_heuristic,
-                deadline=self._deadline,
-                adaptive=config.adaptive_windowing,
-            )
-        clique = np.sort(outcome.best_clique)
-        return self._result(
-            omega=outcome.omega,
-            count=1,
-            cliques=clique.reshape(1, -1),
-            found_by="heuristic" if outcome.omega == heuristic.lower_bound else "search",
-            heuristic=heuristic,
-            setup=setup_stats,
-            levels=outcome.levels,
-            windows=outcome.windows,
-            stored=outcome.candidates_stored,
-            pruned=outcome.candidates_pruned + setup_stats.pruned_2cliques,
-            search_mem=outcome.peak_window_bytes,
-            t0=t0,
-            m0=m0,
-            base_mem=base_mem,
-        )
-
-    def _result(
-        self,
-        omega,
-        count,
-        cliques,
-        found_by,
-        heuristic,
-        t0,
-        m0,
-        base_mem,
-        setup=None,
-        levels=None,
-        windows=None,
-        stored=0,
-        pruned=0,
-        search_mem=0,
-    ) -> MaxCliqueResult:
-        from .result import SetupStats
-
-        device = self.device
-        return MaxCliqueResult(
-            clique_number=int(omega),
-            num_maximum_cliques=int(count),
-            cliques=cliques,
-            found_by=found_by,
-            enumerated_all=self.config.enumerate_all,
-            heuristic=heuristic,
-            setup=setup if setup is not None else SetupStats(),
-            levels=levels if levels is not None else [],
-            windows=windows if windows is not None else [],
-            candidates_stored=int(stored),
-            candidates_pruned=int(pruned),
-            peak_memory_bytes=device.pool.peak_bytes - base_mem,
-            search_memory_bytes=int(search_mem),
-            device_stats=device.stats(),
-            model_time_s=device.model_time_s - m0,
-            wall_time_s=time.perf_counter() - t0,
-        )
 
 
 def find_maximum_cliques(
     graph: CSRGraph,
     config: Optional[SolverConfig] = None,
     device: Optional[Device] = None,
+    tracer: Tracer = NULL_TRACER,
     **config_kwargs,
 ) -> MaxCliqueResult:
     """Convenience wrapper: solve with a fresh solver.
@@ -394,4 +159,4 @@ def find_maximum_cliques(
         raise ValueError("pass either a config object or keyword options, not both")
     if config is None:
         config = SolverConfig(**config_kwargs)
-    return MaxCliqueSolver(graph, config, device).solve()
+    return MaxCliqueSolver(graph, config, device, tracer=tracer).solve()

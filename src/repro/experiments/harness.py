@@ -78,6 +78,8 @@ class RunRecord:
     search_memory_bytes: int = 0
     pruned_fraction: float = 0.0
     windows: int = 0
+    #: model seconds per pipeline stage (csr_upload/preprocess/...)
+    stage_model_times: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -145,6 +147,7 @@ def run_config(
     record.search_memory_bytes = result.search_memory_bytes
     record.pruned_fraction = result.pruned_fraction
     record.windows = len(result.windows)
+    record.stage_model_times = dict(result.stage_times)
     return record
 
 

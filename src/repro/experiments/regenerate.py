@@ -32,7 +32,8 @@ def regenerate(
     t0 = time.perf_counter()
 
     def emit(text: str = "") -> None:
-        print(text, file=out, flush=True)
+        out.write(text + "\n")
+        out.flush()
 
     def stamp(label: str) -> None:
         emit(f"[{label} done at {time.perf_counter() - t0:.0f}s]")

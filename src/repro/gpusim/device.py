@@ -25,7 +25,7 @@ total work (Section V-C2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
@@ -105,6 +105,18 @@ class Device:
     spec:
         Hardware description; defaults to the scaled-down A100-like
         spec used throughout the evaluation.
+
+    Notes
+    -----
+    A device holds *cumulative* state: counters, the per-kernel-name
+    breakdown, the model clock, and the memory peak all accumulate for
+    the device's lifetime. A device **shared across solves** therefore
+    accumulates statistics across them (``model_time_s`` keeps
+    growing; ``kernel_breakdown()`` merges every solve's launches) --
+    which is exactly what multi-solve experiments want. Solvers report
+    per-solve figures by snapshotting the clock before and after, not
+    by resetting. Call :meth:`reset_counters` between solves to start
+    accounting fresh; live allocations survive a reset.
     """
 
     def __init__(self, spec: Optional[DeviceSpec] = None) -> None:
@@ -116,6 +128,7 @@ class Device:
         self._effective_ops = 0.0
         self._time_s = 0.0
         self._profiles: Dict[str, KernelProfile] = {}
+        self._trace_hook: Optional[Callable[..., None]] = None
 
     # ------------------------------------------------------------------
     # memory
@@ -216,7 +229,34 @@ class Device:
         prof.useful_ops += useful
         prof.effective_ops += effective
         prof.model_time_s += t
+        if self._trace_hook is not None:
+            self._trace_hook(
+                name=name,
+                threads=n,
+                useful_ops=useful,
+                effective_ops=effective,
+                model_time_s=t,
+                end_model_s=self._time_s,
+            )
         return t
+
+    def set_trace_hook(
+        self, hook: Optional[Callable[..., None]]
+    ) -> Optional[Callable[..., None]]:
+        """Install a per-kernel-charge callback; returns the previous one.
+
+        The hook is invoked once per charged launch (empty launches
+        charge nothing and emit nothing) with keyword arguments
+        ``name``, ``threads``, ``useful_ops``, ``effective_ops``,
+        ``model_time_s``, and ``end_model_s``. It observes accounting
+        only -- it cannot alter charges, so tracing never changes model
+        time. Pass ``None`` to uninstall. Pipeline runners install a
+        tracer's ``on_kernel`` here for the duration of a solve and
+        restore the previous hook afterwards.
+        """
+        prev = self._trace_hook
+        self._trace_hook = hook
+        return prev
 
     def charge_time(self, seconds: float) -> None:
         """Advance the model clock directly (host-side serial steps)."""
@@ -261,8 +301,11 @@ class Device:
     def reset_counters(self) -> None:
         """Zero launch/op/time counters and the memory peak.
 
-        Live allocations are unaffected; the peak restarts from the
-        current in-use figure.
+        Also clears the per-kernel-name breakdown
+        (:meth:`kernel_breakdown` returns ``{}`` afterwards) and
+        restarts the model clock from zero. Live allocations are
+        unaffected; the peak restarts from the current in-use figure.
+        Any installed trace hook stays installed.
         """
         self._launches = 0
         self._threads = 0

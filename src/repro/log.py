@@ -1,0 +1,75 @@
+"""Project-wide logging (``repro.log``).
+
+All user-facing and diagnostic output flows through the ``repro``
+logger hierarchy instead of raw ``print`` calls:
+
+* ``repro.cli`` -- the CLI's stdout output (results, hints, listings),
+  emitted at INFO through a console handler so terminal behaviour is
+  unchanged;
+* ``repro.pipeline`` / ``repro.trace`` / ... -- per-module diagnostic
+  loggers, silent unless the level is lowered (``repro solve
+  --log-level debug``).
+
+The console handler resolves ``sys.stdout`` at emit time rather than
+capturing it at import, so output capture (pytest ``capsys``, shell
+redirection set up after import) always sees the CLI's output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOGGER_NAME", "logger", "get_logger", "configure", "ConsoleHandler"]
+
+LOGGER_NAME = "repro"
+
+#: Root logger of the package hierarchy.
+logger = logging.getLogger(LOGGER_NAME)
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Child logger ``repro.<name>`` (the root ``repro`` logger for '')."""
+    return logging.getLogger(f"{LOGGER_NAME}.{name}") if name else logger
+
+
+class ConsoleHandler(logging.StreamHandler):
+    """Message-only handler writing to the *current* ``sys.stdout``."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+        self.setFormatter(logging.Formatter("%(message)s"))
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:  # the live lookup wins
+        pass
+
+
+def configure(level: str = "info") -> logging.Logger:
+    """Install the console handler (once) and set the package level.
+
+    Safe to call repeatedly -- the CLI calls it on every invocation.
+    Returns the package root logger.
+    """
+    if level not in _LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        )
+    if not any(isinstance(h, ConsoleHandler) for h in logger.handlers):
+        logger.addHandler(ConsoleHandler())
+    # CLI output is the program's output: never duplicate it through
+    # ancestor handlers (pytest's root capture, user root config).
+    logger.propagate = False
+    logger.setLevel(_LEVELS[level])
+    return logger

@@ -1,0 +1,63 @@
+"""Pipeline runner: execute a stage list against one context.
+
+The runner owns the cross-cutting concerns so stages stay pure
+algorithm wrappers:
+
+* one tracer **span per stage** (category ``"stage"``) on the model
+  clock, plus per-kernel events via the device trace hook, installed
+  only while a recording tracer is active and restored afterwards
+  (nested/shared-device runs compose);
+* the per-stage **model-time breakdown** (``ctx.stage_times``),
+  recorded whether or not tracing is on -- it reads the model clock,
+  which costs nothing;
+* deferred **cleanups** (device buffers uploaded by early stages are
+  freed when the pipeline finishes, success or failure).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Sequence
+
+from ..log import get_logger
+from .context import ExecutionContext
+
+if TYPE_CHECKING:
+    from .stages import Stage
+
+__all__ = ["run_pipeline"]
+
+log = get_logger("pipeline")
+
+
+def run_pipeline(
+    stages: "Sequence[Stage]", ctx: ExecutionContext
+) -> ExecutionContext:
+    """Run ``stages`` in order against ``ctx``; returns ``ctx``.
+
+    Raises whatever a stage raises (``DeviceOOMError``,
+    ``SolveTimeoutError``, ...) after running the registered cleanups,
+    so retries observe the true free device budget.
+    """
+    device, tracer = ctx.device, ctx.tracer
+    prev_hook = (
+        device.set_trace_hook(tracer.on_kernel) if tracer.enabled else None
+    )
+    try:
+        for stage in stages:
+            m_before = device.model_time_s
+            w_before = time.perf_counter()
+            with ctx.span(stage.name):
+                stage.run(ctx)
+            ctx.stage_times[stage.name] = device.model_time_s - m_before
+            log.debug(
+                "stage %-10s %8.3f ms model  %8.3f ms wall",
+                stage.name,
+                (device.model_time_s - m_before) * 1e3,
+                (time.perf_counter() - w_before) * 1e3,
+            )
+    finally:
+        if tracer.enabled:
+            device.set_trace_hook(prev_hook)
+        ctx.run_cleanups()
+    return ctx

@@ -1,0 +1,27 @@
+"""Structured tracing for the solve pipeline (see docs/OBSERVABILITY.md).
+
+Spans, per-kernel events, and counters on the deterministic model
+clock, with JSON and Chrome-trace (``chrome://tracing``) exports. The
+default :data:`NULL_TRACER` records nothing, so untraced runs are
+bit-identical to the pre-tracing implementation.
+"""
+
+from .tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    JsonTracer,
+    KernelEventRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "JsonTracer",
+    "SpanRecord",
+    "KernelEventRecord",
+    "NULL_TRACER",
+    "TRACE_SCHEMA",
+]

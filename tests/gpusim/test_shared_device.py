@@ -1,0 +1,136 @@
+"""Shared-device semantics: accumulation, reset_counters, trace hook.
+
+A :class:`~repro.gpusim.device.Device` holds cumulative state for its
+lifetime -- a device shared across solves accumulates counters, the
+kernel breakdown, and the model clock. ``reset_counters`` starts
+accounting fresh without touching live allocations. These are the
+documented contracts multi-solve experiments rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import MaxCliqueSolver
+from repro.graph import generators as gen
+from repro.gpusim import Device, DeviceSpec
+
+MIB = 1 << 20
+
+
+@pytest.fixture
+def graph():
+    return gen.planted_clique(200, 6, avg_degree=3.0, seed=3)
+
+
+@pytest.fixture
+def device():
+    return Device(DeviceSpec(memory_bytes=256 * MIB))
+
+
+class TestSharedDeviceAccumulation:
+    def test_stats_accumulate_across_solves(self, graph, device):
+        r1 = MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        s1 = device.stats()
+        r2 = MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        s2 = device.stats()
+
+        # the device keeps counting: second solve adds on top
+        assert s2.kernel_launches > s1.kernel_launches
+        assert s2.model_time_s > s1.model_time_s
+        assert s2.useful_ops > s1.useful_ops
+        # identical work, so exactly double after two solves
+        assert s2.kernel_launches == 2 * s1.kernel_launches
+        assert s2.model_time_s == pytest.approx(2 * s1.model_time_s)
+
+        # per-solve results are deltas, unaffected by the shared clock
+        # (up to float summation order on the offset clock)
+        assert r1.model_time_s == pytest.approx(r2.model_time_s, rel=1e-12)
+        assert r1.clique_number == r2.clique_number
+        assert r1.peak_memory_bytes == r2.peak_memory_bytes
+
+    def test_kernel_breakdown_merges_solves(self, graph, device):
+        MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        one = {k: p.launches for k, p in device.kernel_breakdown().items()}
+        MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        two = {k: p.launches for k, p in device.kernel_breakdown().items()}
+        assert set(one) == set(two)
+        assert all(two[k] == 2 * one[k] for k in one)
+
+
+class TestResetCounters:
+    def test_reset_zeroes_counters_and_breakdown(self, graph, device):
+        MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        assert device.kernel_breakdown()
+        device.reset_counters()
+        stats = device.stats()
+        assert stats.kernel_launches == 0
+        assert stats.threads_launched == 0
+        assert stats.useful_ops == 0.0
+        assert stats.effective_ops == 0.0
+        assert stats.model_time_s == 0.0
+        assert device.kernel_breakdown() == {}
+
+    def test_live_allocations_survive_reset(self, device):
+        arr = device.from_host(np.arange(1024, dtype=np.int32))
+        in_use = device.pool.in_use_bytes
+        assert in_use > 0
+        device.reset_counters()
+        assert device.pool.in_use_bytes == in_use
+        assert np.array_equal(arr.to_host(), np.arange(1024))
+        arr.free()
+
+    def test_solve_after_reset_matches_fresh_device(self, graph, device):
+        MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        device.reset_counters()
+        shared = MaxCliqueSolver(graph, SolverConfig(), device).solve()
+        fresh = MaxCliqueSolver(
+            graph, SolverConfig(), Device(DeviceSpec(memory_bytes=256 * MIB))
+        ).solve()
+        assert shared.model_time_s == fresh.model_time_s
+        assert shared.device_stats.kernel_launches == (
+            fresh.device_stats.kernel_launches
+        )
+
+
+class TestTraceHook:
+    def test_hook_sees_every_charge(self, device):
+        events = []
+        device.set_trace_hook(lambda **kw: events.append(kw))
+        device.launch(np.ones(64), name="k1")
+        device.launch(2.0, n_threads=32, name="k2")
+        assert [e["name"] for e in events] == ["k1", "k2"]
+        assert events[0]["threads"] == 64
+        assert events[0]["end_model_s"] == pytest.approx(
+            events[0]["model_time_s"]
+        )
+        assert events[1]["end_model_s"] == device.model_time_s
+
+    def test_set_returns_previous_hook(self, device):
+        a = lambda **kw: None  # noqa: E731
+        assert device.set_trace_hook(a) is None
+        assert device.set_trace_hook(None) is a
+
+    def test_hook_is_observe_only(self, graph):
+        """Installing a hook must not change any model number."""
+        plain = Device(DeviceSpec(memory_bytes=256 * MIB))
+        hooked = Device(DeviceSpec(memory_bytes=256 * MIB))
+        hooked.set_trace_hook(lambda **kw: None)
+        r1 = MaxCliqueSolver(graph, SolverConfig(), plain).solve()
+        r2 = MaxCliqueSolver(graph, SolverConfig(), hooked).solve()
+        assert r1.model_time_s == r2.model_time_s
+        assert plain.stats() == hooked.stats()
+
+    def test_hook_survives_reset_counters(self, device):
+        events = []
+        device.set_trace_hook(lambda **kw: events.append(kw))
+        device.launch(np.ones(8), name="a")
+        device.reset_counters()
+        device.launch(np.ones(8), name="b")
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_empty_launch_emits_nothing(self, device):
+        events = []
+        device.set_trace_hook(lambda **kw: events.append(kw))
+        device.launch(np.zeros(0), name="empty")
+        assert events == []

@@ -85,3 +85,97 @@ class TestCompare:
         assert "PMC" in out
         assert "warp-parallel" in out
         assert "disagree" not in out
+
+
+class TestTrace:
+    STAGES = ["csr_upload", "preprocess", "heuristic", "setup", "bfs"]
+
+    def test_solve_trace_json(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        assert main(["solve", graph_file, "--trace", str(trace_file)]) == 0
+        assert f"wrote {trace_file}" in capsys.readouterr().out
+        payload = json.loads(trace_file.read_text())
+        assert payload["schema"] == "repro-trace/1"
+        span_names = [s["name"] for s in payload["spans"]]
+        for stage in self.STAGES:  # >= 1 span per pipeline stage
+            assert span_names.count(stage) >= 1
+        assert payload["kernels"], "expected per-kernel events"
+        assert all(k["span"] in span_names for k in payload["kernels"])
+        assert payload["counters"]["setup.kept_2cliques"] >= 0
+
+    def test_solve_trace_chrome(self, graph_file, tmp_path):
+        import json
+
+        chrome_file = tmp_path / "trace.chrome.json"
+        assert main(
+            ["solve", graph_file, "--trace-chrome", str(chrome_file)]
+        ) == 0
+        payload = json.loads(chrome_file.read_text())
+        events = payload["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert set(self.STAGES) <= names
+
+    def test_trace_does_not_change_result(self, graph_file, tmp_path, capsys):
+        import json
+
+        assert main(["solve", graph_file, "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        trace_file = tmp_path / "t.json"
+        assert main(
+            ["solve", graph_file, "--json", "--trace", str(trace_file)]
+        ) == 0
+        traced = json.loads(capsys.readouterr().out)
+        traced.pop("wall_time_s"), plain.pop("wall_time_s")
+        assert traced == plain  # includes exact model_time_s
+
+    def test_windowed_trace_spans(self, graph_file, tmp_path):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["solve", graph_file, "--window", "64", "--trace", str(trace_file)]
+        ) == 0
+        span_names = [
+            s["name"] for s in json.loads(trace_file.read_text())["spans"]
+        ]
+        assert "windowed" in span_names
+        assert "bfs" not in span_names
+
+    def test_compare_shares_one_trace(self, graph_file, tmp_path):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        assert main(["compare", graph_file, "--trace", str(trace_file)]) == 0
+        payload = json.loads(trace_file.read_text())
+        names = {s["name"] for s in payload["spans"]}
+        assert {"bfs", "pmc.search", "gpu_dfs.search"} <= names
+
+    def test_trace_written_on_oom(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        code = main(
+            [
+                "solve", "fb-comm-20x130", "--heuristic", "none",
+                "--memory-mib", "2", "--trace", str(trace_file),
+            ]
+        )
+        assert code == 2
+        payload = json.loads(trace_file.read_text())  # partial trace
+        assert payload["kernels"]
+
+
+class TestLogLevel:
+    def test_debug_shows_stage_breakdown(self, graph_file, capsys):
+        assert main(["--log-level", "debug", "solve", graph_file]) == 0
+        assert "stages:" in capsys.readouterr().out
+
+    def test_default_hides_stage_breakdown(self, graph_file, capsys):
+        assert main(["solve", graph_file]) == 0
+        assert "stages:" not in capsys.readouterr().out
+
+    def test_error_level_silences_info(self, graph_file, capsys):
+        assert main(["--log-level", "error", "solve", graph_file]) == 0
+        assert capsys.readouterr().out == ""

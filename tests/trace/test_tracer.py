@@ -1,0 +1,190 @@
+"""Tracer tests: no-op default, recording, exports, solver integration."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import MaxCliqueSolver
+from repro.graph import generators as gen
+from repro.gpusim import Device, DeviceSpec
+from repro.trace import (
+    NULL_TRACER,
+    JsonTracer,
+    NullTracer,
+    Tracer,
+    TRACE_SCHEMA,
+)
+
+MIB = 1 << 20
+
+STAGES = ["csr_upload", "preprocess", "heuristic", "setup", "bfs"]
+
+
+@pytest.fixture
+def graph():
+    return gen.planted_clique(300, 8, avg_degree=4.0, seed=7)
+
+
+def fresh_device():
+    return Device(DeviceSpec(memory_bytes=256 * MIB))
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert isinstance(NULL_TRACER, Tracer)
+
+    def test_span_and_counter_are_noops(self):
+        with NULL_TRACER.span("x", model_clock=lambda: 1.0):
+            NULL_TRACER.counter("c", 3)
+        NULL_TRACER.on_kernel("k", 1, 1.0, 1.0, 0.1, 0.1)
+        # no state anywhere to assert on -- surviving is the test
+
+
+class TestJsonTracer:
+    def test_span_nesting_and_depth(self):
+        t = JsonTracer()
+        clock_value = [0.0]
+
+        def clock():
+            return clock_value[0]
+
+        with t.span("outer", model_clock=clock):
+            clock_value[0] = 1.0
+            with t.span("inner", model_clock=clock):
+                clock_value[0] = 3.0
+            clock_value[0] = 4.0
+        inner, outer = t.spans  # completion order: inner closes first
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert inner.model_time_s == pytest.approx(2.0)
+        assert outer.model_time_s == pytest.approx(4.0)
+
+    def test_kernel_attribution(self):
+        t = JsonTracer()
+        t.on_kernel("orphan", 1, 1.0, 1.0, 0.5, 0.5)
+        with t.span("stage_a"):
+            t.on_kernel("k1", 32, 10.0, 32.0, 0.25, 0.75)
+        assert t.kernels[0].span == ""
+        assert t.kernels[1].span == "stage_a"
+        assert t.kernels[1].start_model_s == pytest.approx(0.5)
+        assert t.kernel_totals() == {"orphan": 0.5, "k1": 0.25}
+
+    def test_counters_accumulate(self):
+        t = JsonTracer()
+        t.counter("hits")
+        t.counter("hits", 4)
+        assert t.counters == {"hits": 5}
+
+    def test_json_schema_round_trip(self):
+        t = JsonTracer()
+        with t.span("s", category="stage", model_clock=lambda: 0.0, graph="g"):
+            t.on_kernel("k", 8, 4.0, 8.0, 0.1, 0.1)
+        payload = json.loads(t.to_json())
+        assert payload["schema"] == TRACE_SCHEMA
+        assert set(payload) == {"schema", "spans", "kernels", "counters"}
+        (span,) = payload["spans"]
+        assert span["name"] == "s"
+        assert span["attrs"] == {"graph": "g"}
+        (kernel,) = payload["kernels"]
+        assert kernel["span"] == "s"
+        assert kernel["threads"] == 8
+
+    def test_chrome_trace_structure(self):
+        t = JsonTracer()
+        with t.span("s", model_clock=lambda: 0.0):
+            t.on_kernel("k", 8, 4.0, 8.0, 0.1, 0.1)
+        chrome = t.to_chrome_trace()
+        events = chrome["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(metadata) == 3  # process name + two thread names
+        tids = {e["name"]: e["tid"] for e in complete}
+        assert tids == {"s": 0, "k": 1}
+        kev = next(e for e in complete if e["name"] == "k")
+        assert kev["dur"] == pytest.approx(0.1 * 1e6)  # model s -> us
+
+
+class TestSolverIntegration:
+    def test_stage_spans_and_kernels(self, graph):
+        tracer = JsonTracer()
+        result = MaxCliqueSolver(
+            graph, SolverConfig(), fresh_device(), tracer=tracer
+        ).solve()
+        stage_names = [s.name for s in tracer.stage_spans()]
+        assert stage_names == STAGES  # one span per stage, in order
+        assert tracer.kernels, "expected per-kernel events"
+        spans = set(stage_names)
+        assert all(k.span in spans for k in tracer.kernels)
+        # tracer's kernel accounting equals the solve's model time
+        assert sum(tracer.kernel_totals().values()) == pytest.approx(
+            result.model_time_s, rel=1e-9
+        )
+
+    def test_counters_populated(self, graph):
+        tracer = JsonTracer()
+        MaxCliqueSolver(
+            graph, SolverConfig(), fresh_device(), tracer=tracer
+        ).solve()
+        assert "heuristic.lower_bound" in tracer.counters
+        assert "setup.kept_2cliques" in tracer.counters
+        assert "setup.pruned_2cliques" in tracer.counters
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SolverConfig(),
+            SolverConfig(window_size=64),
+            SolverConfig(heuristic="none"),
+        ],
+        ids=["full", "windowed", "no-heuristic"],
+    )
+    def test_tracing_does_not_change_results(self, graph, config):
+        """Tracer on/off: identical result, EXACT same model time."""
+        plain = MaxCliqueSolver(graph, config, fresh_device()).solve()
+        traced = MaxCliqueSolver(
+            graph, config, fresh_device(), tracer=JsonTracer()
+        ).solve()
+        assert traced.clique_number == plain.clique_number
+        assert traced.num_maximum_cliques == plain.num_maximum_cliques
+        assert traced.model_time_s == plain.model_time_s  # bit-exact
+        assert traced.peak_memory_bytes == plain.peak_memory_bytes
+        assert traced.candidates_stored == plain.candidates_stored
+        assert traced.candidates_pruned == plain.candidates_pruned
+        assert np.array_equal(traced.cliques, plain.cliques)
+        assert traced.stage_times == plain.stage_times
+
+    def test_hook_restored_after_solve(self, graph):
+        device = fresh_device()
+        MaxCliqueSolver(
+            graph, SolverConfig(), device, tracer=JsonTracer()
+        ).solve()
+        assert device._trace_hook is None
+
+    def test_shared_tracer_across_solvers(self, graph):
+        """One tracer can span the BF solver and both baselines."""
+        from repro.baselines.gpu_dfs import gpu_dfs_max_clique
+        from repro.baselines.pmc import pmc_max_clique
+
+        tracer = JsonTracer()
+        bf = MaxCliqueSolver(
+            graph, SolverConfig(), fresh_device(), tracer=tracer
+        ).solve()
+        pmc = pmc_max_clique(graph, tracer=tracer)
+        dfs = gpu_dfs_max_clique(graph, fresh_device(), tracer=tracer)
+        assert bf.clique_number == pmc.clique_number == dfs.clique_number
+        names = set(tracer.span_names())
+        assert {"pmc.preprocess", "pmc.heuristic", "pmc.search"} <= names
+        assert {"gpu_dfs.preprocess", "gpu_dfs.search"} <= names
+        assert set(STAGES) <= names
+        assert any(k.name == "gpu_dfs" for k in tracer.kernels)
+        assert pmc.stage_model_times.keys() == {
+            "preprocess", "heuristic", "search",
+        }
+        assert dfs.stage_model_times.keys() == {"preprocess", "search"}
+        assert sum(dfs.stage_model_times.values()) == pytest.approx(
+            dfs.model_time_s, rel=1e-9
+        )
