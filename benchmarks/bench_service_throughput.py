@@ -1,0 +1,67 @@
+"""Throughput of the batched solve service (jobs/second).
+
+Runs a mixed batch — several suite-category generators, each requested
+twice — through :class:`repro.service.SolveService` and reports host
+jobs/second plus the model-time makespan of the device pool. The
+qualitative assertions: every job completes ``ok``, every duplicate is
+served from the result cache at zero model cost, and the
+shortest-expected-first policy never makespans worse than FIFO on the
+same batch (it reorders, it never adds work).
+"""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.service import SolveService
+
+from conftest import run_once
+
+GRAPHS = {
+    "road": lambda: gen.road_grid(40, 40),
+    "collab": lambda: gen.team_collaboration(1_500, 1_000, seed=5),
+    "planted": lambda: gen.planted_clique(1_500, 10, avg_degree=6.0, seed=11),
+    "social": lambda: gen.caveman_social(10, 50, p_in=0.4, seed=7),
+}
+
+REPEATS = 2  # each graph submitted this many times; duplicates must hit
+
+
+def _run_batch(policy):
+    service = SolveService(devices=2, policy=policy)
+    for name, build in sorted(GRAPHS.items()):
+        graph = build()
+        for _ in range(REPEATS):
+            service.submit_graph(graph, label=name)
+    records = service.run()
+    return service, records
+
+
+@pytest.mark.parametrize("policy", ["fifo", "sef"])
+def test_service_throughput(benchmark, policy):
+    service, records = run_once(benchmark, lambda: _run_batch(policy))
+    summary = service.summary()
+
+    assert all(r.ok for r in records), [r.error for r in records if not r.ok]
+    # one solve per distinct graph; every repeat served from cache
+    assert summary.cache_hits == len(GRAPHS) * (REPEATS - 1)
+    hits = [r for r in records if r.cache_hit]
+    assert all(r.model_time_s == 0.0 and r.attempts == 0 for r in hits)
+
+    jobs_per_s = summary.total / summary.wall_time_s
+    print(
+        f"\n{policy:5s}: {summary.total} jobs "
+        f"({summary.cache_hits} cached) in {summary.wall_time_s * 1e3:.1f} ms "
+        f"host = {jobs_per_s:,.0f} jobs/s; "
+        f"pool makespan {summary.makespan_model_s * 1e3:.3f} ms model "
+        f"on {summary.devices} devices"
+    )
+
+
+def test_sef_no_worse_makespan_than_fifo():
+    fifo, _ = _run_batch("fifo")
+    sef, _ = _run_batch("sef")
+    assert sef.summary().ok == fifo.summary().ok
+    # reordering the same work cannot grow the pool's total model time
+    assert sef.summary().model_time_s == pytest.approx(
+        fifo.summary().model_time_s
+    )

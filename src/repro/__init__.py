@@ -28,6 +28,10 @@ Public entry points
 :mod:`repro.pipeline` / :mod:`repro.trace`
     The stage-based solve pipeline and the structured tracer
     (docs/OBSERVABILITY.md).
+:class:`SolveService` (:mod:`repro.service`)
+    The batched solve service: job scheduling over a simulated device
+    pool, result caching by graph fingerprint, memory-aware admission
+    control, and an OOM/timeout degradation ladder (docs/SERVICE.md).
 """
 
 from .core import (
@@ -41,14 +45,18 @@ from .core import (
     find_maximum_cliques,
 )
 from .errors import (
+    AdmissionRejectedError,
     DeviceOOMError,
     DeviceStateError,
     GraphFormatError,
+    JobSpecError,
     ReproError,
     SolverConfigError,
+    SolveTimeoutError,
 )
 from .gpusim import Device, DeviceSpec
 from .graph import CSRGraph
+from .service import JobRecord, SolveRequest, SolveService
 from .trace import NULL_TRACER, JsonTracer, NullTracer, Tracer
 
 __version__ = "1.0.0"
@@ -69,10 +77,16 @@ __all__ = [
     "NullTracer",
     "JsonTracer",
     "NULL_TRACER",
+    "SolveService",
+    "SolveRequest",
+    "JobRecord",
     "ReproError",
+    "AdmissionRejectedError",
     "DeviceOOMError",
     "DeviceStateError",
     "GraphFormatError",
+    "JobSpecError",
     "SolverConfigError",
+    "SolveTimeoutError",
     "__version__",
 ]

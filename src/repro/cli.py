@@ -3,6 +3,7 @@
 ::
 
     python -m repro solve GRAPH [options]     # find/enumerate maximum cliques
+    python -m repro batch JOBS.json [options] # run a job file through the service
     python -m repro info GRAPH                # structural statistics
     python -m repro datasets [--category C]   # list the surrogate suite
     python -m repro compare GRAPH             # BF vs PMC vs warp-DFS on one graph
@@ -26,9 +27,8 @@ from typing import List, Optional
 
 from .core.config import SolverConfig
 from .core.solver import MaxCliqueSolver
-from .errors import DeviceOOMError, SolveTimeoutError
+from .errors import DeviceOOMError, JobSpecError, SolveTimeoutError
 from .graph.csr import CSRGraph
-from .graph.io import load_graph
 from .gpusim.device import Device
 from .gpusim.spec import DeviceSpec
 from .log import configure as configure_logging, get_logger
@@ -44,17 +44,12 @@ out = get_logger("cli")
 
 def _load(name: str) -> CSRGraph:
     """Load a graph file, or fall back to a suite dataset name."""
-    if Path(name).exists():
-        return load_graph(name)
-    from .datasets.suite import load as load_dataset
+    from .service.jobs import resolve_graph
 
     try:
-        return load_dataset(name)
-    except KeyError:
-        raise SystemExit(
-            f"error: {name!r} is neither a readable file nor a suite "
-            f"dataset (try `python -m repro datasets`)"
-        )
+        return resolve_graph(name)
+    except JobSpecError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -121,6 +116,11 @@ def _add_solver_args(p: argparse.ArgumentParser) -> None:
         help="abort after this many wall seconds",
     )
     p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (alias of --time-limit; exits 3 "
+        "with a timeout message when exceeded)",
+    )
+    p.add_argument(
         "--max-report", type=int, default=20,
         help="maximum cliques to print (count is always exact)",
     )
@@ -141,7 +141,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         window_size=window,
         window_order=args.window_order,
         adaptive_windowing=args.adaptive,
-        time_limit_s=args.time_limit,
+        time_limit_s=args.timeout if args.timeout is not None else args.time_limit,
         max_cliques_report=max(args.max_report, 1),
     )
     device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
@@ -198,6 +198,76 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         out.debug(f"  stages: {breakdown}")
     _export_trace(tracer, args)
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import SolveService
+    from .service.jobs import load_jobs
+
+    try:
+        requests = load_jobs(args.jobs)
+    except JobSpecError as exc:
+        out.info(f"error: {exc}")
+        return 2
+    tracer = _make_tracer(args)
+    service = SolveService(
+        devices=args.devices,
+        spec=DeviceSpec(memory_bytes=args.memory_mib * MIB),
+        policy=args.policy,
+        cache_size=args.cache_size,
+        max_attempts=args.max_attempts,
+        default_timeout_s=args.timeout,
+        tracer=tracer,
+    )
+    for request in requests:
+        service.submit(request)
+    records = service.run()
+    summary = service.summary()
+    payload = {
+        "jobs": [r.to_dict() for r in records],
+        "summary": summary.to_dict(),
+        "devices": service.pool.summary(),
+    }
+    import json
+
+    if args.output:
+        try:
+            Path(args.output).write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write {args.output}: {exc}")
+        if not args.json:
+            out.info(f"batch: wrote {args.output}")
+    if args.json:
+        # machine-readable output bypasses logging so piping always works
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        for r in records:
+            figures = (
+                f"omega={r.clique_number} x{r.num_maximum_cliques}"
+                if r.status == "ok"
+                else (r.error or "")
+            )
+            tags = "".join(
+                [
+                    " cache" if r.cache_hit else "",
+                    " degraded" if r.degraded else "",
+                ]
+            )
+            out.info(
+                f"job {r.job_id} [{r.label}]: {r.status} {figures} "
+                f"admission={r.admission} attempts={r.attempts} "
+                f"model={r.model_time_s * 1e3:.3f}ms{tags}"
+            )
+        out.info(
+            f"batch: {summary.ok}/{summary.total} ok, "
+            f"{summary.rejected} rejected, {summary.failed} failed, "
+            f"{summary.cache_hits} cache hit(s) on {summary.devices} device(s); "
+            f"makespan {summary.makespan_model_s * 1e3:.3f} ms (model)"
+        )
+    _export_trace(tracer, args)
+    return 0 if all(r.ok for r in records) else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -293,6 +363,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_solve.add_argument("graph", help="graph file or suite dataset name")
     _add_solver_args(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_batch = sub.add_parser(
+        "batch", help="run a JSON job file through the solve service"
+    )
+    p_batch.add_argument("jobs", help="jobs file (JSON; see docs/SERVICE.md)")
+    p_batch.add_argument(
+        "--devices", type=int, default=1,
+        help="size of the simulated device pool (default 1)",
+    )
+    p_batch.add_argument(
+        "--policy", default="fifo", choices=["fifo", "sef"],
+        help="job ordering: submission order or shortest-expected-first",
+    )
+    p_batch.add_argument(
+        "--cache-size", type=int, default=128,
+        help="result-cache capacity in entries; 0 disables (default 128)",
+    )
+    p_batch.add_argument(
+        "--memory-mib", type=int, default=192,
+        help="per-device memory budget in MiB (default 192)",
+    )
+    p_batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock budget (jobs may override)",
+    )
+    p_batch.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per job along the degradation ladder (default 3)",
+    )
+    p_batch.add_argument(
+        "--json", action="store_true",
+        help="emit the full JSON report ({jobs, summary, devices}) on stdout",
+    )
+    p_batch.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the JSON report to a file",
+    )
+    _add_trace_args(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_info = sub.add_parser("info", help="structural statistics")
     p_info.add_argument("graph")

@@ -10,9 +10,11 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "AdmissionRejectedError",
     "DeviceOOMError",
     "DeviceStateError",
     "GraphFormatError",
+    "JobSpecError",
     "SolverConfigError",
     "SolveTimeoutError",
 ]
@@ -68,3 +70,35 @@ class SolveTimeoutError(ReproError, TimeoutError):
     mirroring the abandoned pathological runs of the paper's
     evaluation.
     """
+
+
+class AdmissionRejectedError(ReproError, RuntimeError):
+    """Raised when admission control refuses to launch a solve.
+
+    The solve service's admission controller
+    (:mod:`repro.service.admission`) rejects jobs whose estimated
+    device-memory floor exceeds the budget *before* any device work is
+    charged; batch runs record these as ``rejected`` job outcomes
+    instead of raising.
+
+    Attributes
+    ----------
+    reason:
+        Human-readable rejection reason (also the exception message).
+    estimated_bytes:
+        Estimated minimum device bytes the solve would need.
+    budget_bytes:
+        Device memory budget the estimate was checked against.
+    """
+
+    def __init__(
+        self, reason: str, estimated_bytes: int = 0, budget_bytes: int = 0
+    ) -> None:
+        self.reason = reason
+        self.estimated_bytes = int(estimated_bytes)
+        self.budget_bytes = int(budget_bytes)
+        super().__init__(reason)
+
+
+class JobSpecError(ReproError, ValueError):
+    """Raised when a batch job file or job specification is invalid."""

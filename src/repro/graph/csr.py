@@ -53,7 +53,13 @@ class CSRGraph:
         When true (default), check structural invariants up front.
     """
 
-    __slots__ = ("row_offsets", "col_indices", "_edge_keys", "_lookup_cost")
+    __slots__ = (
+        "row_offsets",
+        "col_indices",
+        "_edge_keys",
+        "_lookup_cost",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -65,6 +71,7 @@ class CSRGraph:
         self.col_indices = np.ascontiguousarray(col_indices, dtype=np.int32)
         self._edge_keys: Optional[np.ndarray] = None
         self._lookup_cost: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
         if validate:
             self.validate()
 
@@ -236,6 +243,33 @@ class CSRGraph:
             active[idx[hit]] = False
             active &= lo < hi
         return found
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (hex SHA-256).
+
+        Covers the vertex/edge counts and the exact ``row_offsets`` /
+        ``col_indices`` contents, so two :class:`CSRGraph` instances
+        share a fingerprint iff they encode the same labelled graph.
+        Isomorphic graphs with different vertex labels hash
+        differently -- the fingerprint identifies the *input*, which is
+        what result caching needs (the solve service keys its cache on
+        ``fingerprint()`` plus the solver configuration). Computed once
+        and memoised; the arrays are immutable by convention.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(b"repro-csr/1")
+            h.update(np.int64(self.num_vertices).tobytes())
+            h.update(np.int64(self.num_directed_edges).tobytes())
+            h.update(self.row_offsets.tobytes())
+            h.update(self.col_indices.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # misc

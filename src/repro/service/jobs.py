@@ -1,0 +1,148 @@
+"""Batch job files: the ``repro batch`` input format.
+
+A jobs file is JSON -- either a bare list of job objects or
+``{"defaults": {...}, "jobs": [...]}``. Each job object:
+
+.. code-block:: json
+
+    {
+      "id": "social-1",
+      "graph": "soc-comm-10x50",
+      "priority": 1,
+      "timeout_s": 10.0,
+      "config": {"heuristic": "multi-degree", "window_size": 1024}
+    }
+
+``graph`` (required) is a file path or a surrogate-suite dataset name,
+resolved exactly as the CLI resolves positional graph arguments.
+``config`` keys are :class:`~repro.core.config.SolverConfig` field
+names, passed through verbatim (so everything the programmatic API
+accepts is expressible). ``defaults`` supplies fallback values for
+``priority`` / ``timeout_s`` / ``config`` entries merged under each
+job's own. Unknown keys anywhere raise
+:class:`~repro.errors.JobSpecError` -- silent typos in a batch file
+are worse than a loud failure. See docs/SERVICE.md for the full
+schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..core.config import SolverConfig
+from ..errors import JobSpecError, SolverConfigError
+from ..graph.csr import CSRGraph
+from .request import SolveRequest
+
+__all__ = ["load_jobs", "parse_jobs", "resolve_graph"]
+
+_JOB_KEYS = {"id", "graph", "priority", "timeout_s", "config", "label"}
+_DEFAULT_KEYS = {"priority", "timeout_s", "config"}
+_CONFIG_FIELDS = frozenset(SolverConfig.__dataclass_fields__)
+
+
+def resolve_graph(name: str) -> CSRGraph:
+    """Load a graph file, or fall back to a suite dataset name.
+
+    Raises :class:`~repro.errors.JobSpecError` when the name is
+    neither; the CLI and the jobs loader share this resolution.
+    """
+    from ..graph.io import load_graph
+
+    if Path(name).exists():
+        return load_graph(name)
+    from ..datasets.suite import load as load_dataset
+
+    try:
+        return load_dataset(name)
+    except KeyError:
+        raise JobSpecError(
+            f"{name!r} is neither a readable file nor a suite dataset "
+            f"(try `python -m repro datasets`)"
+        )
+
+
+def _build_config(spec: Dict[str, Any], where: str) -> SolverConfig:
+    unknown = set(spec) - _CONFIG_FIELDS
+    if unknown:
+        raise JobSpecError(
+            f"{where}: unknown config key(s) {sorted(unknown)}; valid keys "
+            f"are the SolverConfig fields {sorted(_CONFIG_FIELDS)}"
+        )
+    try:
+        return SolverConfig(**spec)
+    except (SolverConfigError, ValueError, TypeError) as exc:
+        raise JobSpecError(f"{where}: invalid config: {exc}")
+
+
+def parse_jobs(payload: Union[list, dict], source: str = "<jobs>") -> List[SolveRequest]:
+    """Turn a decoded jobs payload into solve requests (graphs loaded)."""
+    if isinstance(payload, list):
+        defaults: Dict[str, Any] = {}
+        jobs = payload
+    elif isinstance(payload, dict):
+        unknown = set(payload) - {"defaults", "jobs"}
+        if unknown:
+            raise JobSpecError(
+                f"{source}: unknown top-level key(s) {sorted(unknown)}"
+            )
+        defaults = payload.get("defaults", {})
+        if not isinstance(defaults, dict):
+            raise JobSpecError(f"{source}: 'defaults' must be an object")
+        bad = set(defaults) - _DEFAULT_KEYS
+        if bad:
+            raise JobSpecError(
+                f"{source}: unknown defaults key(s) {sorted(bad)}"
+            )
+        jobs = payload.get("jobs")
+        if jobs is None:
+            raise JobSpecError(f"{source}: missing 'jobs' list")
+    else:
+        raise JobSpecError(f"{source}: expected a list or an object at top level")
+    if not isinstance(jobs, list) or not jobs:
+        raise JobSpecError(f"{source}: 'jobs' must be a non-empty list")
+
+    default_config = defaults.get("config", {})
+    if not isinstance(default_config, dict):
+        raise JobSpecError(f"{source}: defaults.config must be an object")
+    requests: List[SolveRequest] = []
+    for i, job in enumerate(jobs):
+        where = f"{source}: job #{i}"
+        if not isinstance(job, dict):
+            raise JobSpecError(f"{where}: expected an object")
+        unknown = set(job) - _JOB_KEYS
+        if unknown:
+            raise JobSpecError(f"{where}: unknown key(s) {sorted(unknown)}")
+        graph_name = job.get("graph")
+        if not isinstance(graph_name, str) or not graph_name:
+            raise JobSpecError(f"{where}: 'graph' (string) is required")
+        config_spec = dict(default_config)
+        job_config = job.get("config", {})
+        if not isinstance(job_config, dict):
+            raise JobSpecError(f"{where}: 'config' must be an object")
+        config_spec.update(job_config)
+        requests.append(
+            SolveRequest(
+                graph=resolve_graph(graph_name),
+                config=_build_config(config_spec, where),
+                job_id=job.get("id"),
+                priority=int(job.get("priority", defaults.get("priority", 0))),
+                timeout_s=job.get("timeout_s", defaults.get("timeout_s")),
+                label=job.get("label", graph_name),
+            )
+        )
+    return requests
+
+
+def load_jobs(path: Union[str, Path]) -> List[SolveRequest]:
+    """Read and parse a jobs file; raises ``JobSpecError`` on bad input."""
+    p = Path(path)
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise JobSpecError(f"cannot read jobs file {p}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise JobSpecError(f"{p} is not valid JSON: {exc}")
+    return parse_jobs(payload, source=str(p))

@@ -1,0 +1,114 @@
+"""Failure policy: the degradation ladder.
+
+When a launched solve still fails -- the admission estimate was wrong
+(OOM) or the job ran out of wall-clock budget (timeout) -- the service
+does not fail the job outright. It walks a *degradation ladder*: each
+rung trades answer quality or speed for feasibility, mirroring how the
+paper's evaluation falls back from full enumeration to the windowed
+single-clique search when memory runs out (Section IV-E, Table I).
+
+Rungs on :class:`~repro.errors.DeviceOOMError`:
+
+1. full search -> windowed search (auto-sized windows + adaptive
+   splitting), which finds *one* maximum clique under the budget;
+2. windowed -> windowed with the window halved (down to
+   ``min_window``) and adaptive splitting forced on;
+3. below ``min_window`` there is nothing left to shrink: give up.
+
+Rungs on :class:`~repro.errors.SolveTimeoutError`:
+
+1. full enumeration -> single-clique early-exit search (windowed with
+   the sound early-termination of Algorithm 2 line 36), the cheapest
+   exact mode;
+2. already in the cheapest mode: give up (retrying the same work
+   against the same wall clock cannot succeed).
+
+Every retry re-runs the whole pipeline on the same device; the service
+accounts the failed attempts' model time to the job and marks the
+record ``degraded`` whenever the executed config no longer enumerates
+everything the requested config asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..core.config import SolverConfig
+from ..errors import DeviceOOMError, SolveTimeoutError
+
+__all__ = ["DegradationPolicy"]
+
+
+class DegradationPolicy:
+    """Maps (failed config, error) to the next config to try.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts allowed per job, the first launch included.
+    min_window:
+        Smallest window the OOM ladder will shrink to.
+    """
+
+    def __init__(self, max_attempts: int = 3, min_window: int = 64) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if min_window < 1:
+            raise ValueError("min_window must be at least 1")
+        self.max_attempts = max_attempts
+        self.min_window = min_window
+
+    def next_config(
+        self, config: SolverConfig, error: BaseException
+    ) -> Optional[SolverConfig]:
+        """The next rung down, or None when the ladder is exhausted."""
+        if isinstance(error, DeviceOOMError):
+            return self._after_oom(config)
+        if isinstance(error, SolveTimeoutError):
+            return self._after_timeout(config)
+        return None  # not a retryable failure
+
+    # ------------------------------------------------------------------
+    def _after_oom(self, config: SolverConfig) -> Optional[SolverConfig]:
+        if not config.windowed:
+            # rung 1: fall back to the windowed single-clique search
+            return replace(
+                config,
+                window_size="auto",
+                adaptive_windowing=True,
+                window_fanout=1,
+                early_exit_heuristic=False,
+            )
+        # rung 2+: shrink the window; "auto" evidently over-sized, so
+        # restart the ladder from a known-small fixed window
+        if isinstance(config.window_size, str):
+            next_window = max(self.min_window, 1024)
+        else:
+            if config.window_size <= self.min_window and config.adaptive_windowing:
+                return None  # nothing left to shrink
+            next_window = max(self.min_window, config.window_size // 2)
+        return replace(
+            config,
+            window_size=next_window,
+            adaptive_windowing=True,
+            window_fanout=1,
+            early_exit_heuristic=False,
+        )
+
+    def _after_timeout(self, config: SolverConfig) -> Optional[SolverConfig]:
+        if config.enumerate_all:
+            # rung 1: stop enumerating; find one maximum clique with the
+            # early-exit bound, the cheapest exact mode
+            return replace(
+                config,
+                window_size=(
+                    config.window_size if config.window_size is not None else "auto"
+                ),
+                adaptive_windowing=config.window_fanout == 1,
+                enumerate_all=False,
+                early_exit_heuristic=config.window_fanout == 1,
+            )
+        if not config.early_exit_heuristic and config.window_fanout == 1:
+            return replace(config, early_exit_heuristic=True)
+        return None  # already in the cheapest mode

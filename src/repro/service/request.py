@@ -1,0 +1,119 @@
+"""Job types of the solve service: requests in, records out.
+
+A :class:`SolveRequest` is one unit of work submitted to the
+:class:`~repro.service.service.SolveService` -- a graph plus a
+:class:`~repro.core.config.SolverConfig` and scheduling metadata
+(priority, per-job wall-clock budget). A :class:`JobRecord` is the
+service's account of what happened to that job: admission decision,
+attempt count along the degradation ladder, cache hit, per-stage
+model-time breakdown, and the result figures. Records serialise to
+JSON (``repro batch --json``); the full
+:class:`~repro.core.result.MaxCliqueResult` stays available
+programmatically on :attr:`JobRecord.result`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.config import SolverConfig
+from ..core.result import MaxCliqueResult
+from ..graph.csr import CSRGraph
+
+__all__ = ["SolveRequest", "JobRecord"]
+
+#: job terminal states (``JobRecord.status``)
+STATUS_OK = "ok"
+STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
+
+
+@dataclass
+class SolveRequest:
+    """One solve job submitted to the service.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    config:
+        Requested solver configuration (the *cache identity* of the
+        job); admission control and the degradation ladder may execute
+        a different configuration, which the record reports.
+    job_id:
+        Caller-chosen identifier; the service assigns ``job-<n>`` when
+        omitted.
+    priority:
+        Higher runs earlier; ties fall back to the scheduling policy.
+    timeout_s:
+        Per-job wall-clock budget in seconds, merged into the executed
+        config's ``time_limit_s`` (the tighter of the two wins).
+    label:
+        Free-form annotation carried into the record (e.g. the graph's
+        file or dataset name).
+    """
+
+    graph: CSRGraph
+    config: SolverConfig = field(default_factory=SolverConfig)
+    job_id: Optional[str] = None
+    priority: int = 0
+    timeout_s: Optional[float] = None
+    label: str = ""
+
+    #: submission sequence number, assigned by the service (FIFO key)
+    seq: int = field(default=0, repr=False, compare=False)
+
+
+@dataclass
+class JobRecord:
+    """Everything the service can say about one finished job.
+
+    ``status`` is ``"ok"`` (a result was produced, possibly degraded),
+    ``"rejected"`` (admission refused to launch it), or ``"failed"``
+    (every rung of the degradation ladder was exhausted).
+    """
+
+    job_id: str
+    status: str
+    label: str = ""
+    clique_number: Optional[int] = None
+    num_maximum_cliques: Optional[int] = None
+    enumerated_all: Optional[bool] = None
+    cache_hit: bool = False
+    attempts: int = 0
+    admission: str = ""  # "full" | "windowed" | "reject" | "cache"
+    admission_reason: str = ""
+    degraded: bool = False
+    device: Optional[int] = None
+    model_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    stage_model_times: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    #: full result object (not serialised); None for rejected/failed
+    result: Optional[MaxCliqueResult] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (drops the result object)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "label": self.label,
+            "clique_number": self.clique_number,
+            "num_maximum_cliques": self.num_maximum_cliques,
+            "enumerated_all": self.enumerated_all,
+            "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
+            "admission": self.admission,
+            "admission_reason": self.admission_reason,
+            "degraded": self.degraded,
+            "device": self.device,
+            "model_time_s": self.model_time_s,
+            "wall_time_s": self.wall_time_s,
+            "stage_model_times_s": dict(self.stage_model_times),
+            "error": self.error,
+        }

@@ -1,0 +1,375 @@
+"""The batched solve service.
+
+:class:`SolveService` turns the one-shot
+:class:`~repro.core.solver.MaxCliqueSolver` into a multi-request
+serving layer: jobs are submitted (:meth:`SolveService.submit`),
+ordered by the scheduler, checked against the result cache, admitted
+by the memory controller, executed on the least-loaded device of a
+simulated pool, retried down the degradation ladder on OOM/timeout,
+and reported as :class:`~repro.service.request.JobRecord` objects.
+
+Observability rides on the PR-1 tracer: each executed job runs inside
+a ``service.job`` span (category ``"service"``) on its device's model
+clock, with the pipeline's per-stage spans nested inside, and the
+service emits ``service.*`` counters (cache hits/misses, admission
+decisions, retries, outcomes) -- see docs/OBSERVABILITY.md.
+
+>>> from repro.service import SolveService
+>>> svc = SolveService(devices=2, policy="sef")
+>>> svc.submit_graph(g, heuristic="multi-degree")
+'job-0'
+>>> records = svc.run()
+>>> records[0].status, records[0].cache_hit
+('ok', False)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from ..core.config import SolverConfig
+from ..core.solver import MaxCliqueSolver
+from ..errors import DeviceOOMError, SolveTimeoutError
+from ..graph.csr import CSRGraph
+from ..gpusim.spec import DeviceSpec
+from ..log import get_logger
+from ..trace import NULL_TRACER, Tracer
+from .admission import AdmissionController, REJECT
+from .cache import ResultCache, request_key
+from .policy import DegradationPolicy
+from .request import (
+    JobRecord,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    SolveRequest,
+)
+from .scheduler import DevicePool, Scheduler
+
+__all__ = ["SolveService", "ServiceSummary"]
+
+log = get_logger("service")
+
+
+@dataclass(frozen=True)
+class ServiceSummary:
+    """Aggregate figures over every record the service produced."""
+
+    total: int
+    ok: int
+    rejected: int
+    failed: int
+    cache_hits: int
+    attempts: int
+    model_time_s: float  #: device model time charged across all jobs
+    makespan_model_s: float  #: busiest device's clock (pool completion)
+    wall_time_s: float  #: host wall time spent inside run()
+    devices: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "attempts": self.attempts,
+            "model_time_s": self.model_time_s,
+            "makespan_model_s": self.makespan_model_s,
+            "wall_time_s": self.wall_time_s,
+            "devices": self.devices,
+        }
+
+
+class SolveService:
+    """A scheduling, caching, admission-controlled solve service.
+
+    Parameters
+    ----------
+    devices:
+        Size of the simulated device pool.
+    spec:
+        Spec shared by every pool device (memory budget lives here).
+    policy:
+        Job ordering: ``"fifo"`` or ``"sef"`` (shortest-expected-first).
+    cache_size:
+        Result-cache capacity in entries; 0 disables caching.
+    max_attempts:
+        Attempts per job along the degradation ladder (>= 1).
+    default_timeout_s:
+        Per-job wall-clock budget applied when a request carries none.
+    tracer:
+        Receives ``service.job`` spans and ``service.*`` counters plus
+        all nested pipeline spans/kernels; defaults to the no-op
+        tracer.
+    admission / degradation:
+        Override the stock controller/ladder (mainly for tests).
+    fault_hook:
+        Test/fault-injection hook called as ``hook(request, attempt,
+        config)`` immediately before each launch; an exception it
+        raises is handled exactly like a solver failure.
+    """
+
+    def __init__(
+        self,
+        devices: int = 1,
+        spec: Optional[DeviceSpec] = None,
+        policy: str = "fifo",
+        cache_size: int = 128,
+        max_attempts: int = 3,
+        default_timeout_s: Optional[float] = None,
+        tracer: Tracer = NULL_TRACER,
+        admission: Optional[AdmissionController] = None,
+        degradation: Optional[DegradationPolicy] = None,
+        fault_hook: Optional[
+            Callable[[SolveRequest, int, SolverConfig], None]
+        ] = None,
+    ) -> None:
+        self.pool = DevicePool(devices, spec)
+        self.scheduler = Scheduler(policy)
+        self.tracer = tracer
+        self.cache = ResultCache(cache_size, tracer=tracer)
+        self.admission = admission if admission is not None else AdmissionController()
+        self.degradation = (
+            degradation
+            if degradation is not None
+            else DegradationPolicy(max_attempts=max_attempts)
+        )
+        self.default_timeout_s = default_timeout_s
+        self.fault_hook = fault_hook
+        self.records: List[JobRecord] = []
+        self._pending: List[SolveRequest] = []
+        self._seq = 0
+        self._run_wall_s = 0.0
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: SolveRequest) -> str:
+        """Queue a request; returns its (possibly assigned) job id."""
+        if request.job_id is None:
+            request.job_id = f"job-{self._seq}"
+        request.seq = self._seq
+        self._seq += 1
+        self._pending.append(request)
+        return request.job_id
+
+    def submit_graph(
+        self,
+        graph: CSRGraph,
+        config: Optional[SolverConfig] = None,
+        job_id: Optional[str] = None,
+        priority: int = 0,
+        timeout_s: Optional[float] = None,
+        label: str = "",
+        **config_kwargs,
+    ) -> str:
+        """Convenience: build the request from a graph + config kwargs."""
+        if config is not None and config_kwargs:
+            raise ValueError("pass either a config object or keyword options, not both")
+        if config is None:
+            config = SolverConfig(**config_kwargs)
+        return self.submit(
+            SolveRequest(
+                graph=graph,
+                config=config,
+                job_id=job_id,
+                priority=priority,
+                timeout_s=timeout_s,
+                label=label,
+            )
+        )
+
+    @property
+    def pending(self) -> int:
+        """Jobs queued but not yet run."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self) -> List[JobRecord]:
+        """Drain the queue in scheduled order; returns this run's records."""
+        batch, self._pending = self._pending, []
+        ordered = self.scheduler.order(batch)
+        t0 = time.perf_counter()
+        out: List[JobRecord] = []
+        for request in ordered:
+            record = self._execute(request)
+            self.records.append(record)
+            out.append(record)
+            log.debug(
+                "job %s: %s%s omega=%s attempts=%d model=%.3f ms",
+                record.job_id,
+                record.status,
+                " (cache)" if record.cache_hit else "",
+                record.clique_number,
+                record.attempts,
+                record.model_time_s * 1e3,
+            )
+        self._run_wall_s += time.perf_counter() - t0
+        return out
+
+    def solve(self, graph: CSRGraph, config: Optional[SolverConfig] = None, **kw) -> JobRecord:
+        """One-shot convenience: submit one job and run it now."""
+        self.submit_graph(graph, config, **kw)
+        return self.run()[-1]
+
+    def summary(self) -> ServiceSummary:
+        """Aggregate figures across everything run so far."""
+        recs = self.records
+        return ServiceSummary(
+            total=len(recs),
+            ok=sum(1 for r in recs if r.status == STATUS_OK),
+            rejected=sum(1 for r in recs if r.status == STATUS_REJECTED),
+            failed=sum(1 for r in recs if r.status == STATUS_FAILED),
+            cache_hits=sum(1 for r in recs if r.cache_hit),
+            attempts=sum(r.attempts for r in recs),
+            model_time_s=sum(r.model_time_s for r in recs),
+            makespan_model_s=self.pool.makespan_model_s,
+            wall_time_s=self._run_wall_s,
+            devices=len(self.pool),
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, request: SolveRequest) -> JobRecord:
+        w0 = time.perf_counter()
+        key = request_key(request.graph, request.config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return self._from_cache(request, cached, w0)
+
+        decision = self.admission.decide(
+            request.graph, request.config, self.pool.spec.memory_bytes
+        )
+        self.tracer.counter(f"service.admit.{decision.decision}")
+        if decision.decision == REJECT:
+            self.tracer.counter("service.jobs.rejected")
+            log.debug("job %s rejected: %s", request.job_id, decision.reason)
+            return JobRecord(
+                job_id=request.job_id,
+                status=STATUS_REJECTED,
+                label=request.label,
+                admission=decision.decision,
+                admission_reason=decision.reason,
+                wall_time_s=time.perf_counter() - w0,
+                error=decision.reason,
+            )
+
+        timeout_s = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.default_timeout_s
+        )
+        config = self._merge_timeout(decision.config, timeout_s)
+        dev_index, device = self.pool.least_loaded()
+        self.pool.note_dispatch(dev_index)
+        record = JobRecord(
+            job_id=request.job_id,
+            status=STATUS_FAILED,
+            label=request.label,
+            admission=decision.decision,
+            admission_reason=decision.reason,
+            device=dev_index,
+        )
+        with self.tracer.span(
+            "service.job",
+            category="service",
+            model_clock=lambda: device.model_time_s,
+            job_id=request.job_id,
+            device=dev_index,
+            admission=decision.decision,
+        ):
+            self._attempt_ladder(request, config, device, record)
+        record.wall_time_s = time.perf_counter() - w0
+        if record.status == STATUS_OK:
+            self.tracer.counter("service.jobs.ok")
+            self.cache.put(key, record)
+        else:
+            self.tracer.counter("service.jobs.failed")
+        return record
+
+    def _attempt_ladder(
+        self,
+        request: SolveRequest,
+        config: SolverConfig,
+        device,
+        record: JobRecord,
+    ) -> None:
+        """Run attempts down the degradation ladder, filling ``record``."""
+        while True:
+            record.attempts += 1
+            m0 = device.model_time_s
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(request, record.attempts, config)
+                result = MaxCliqueSolver(
+                    request.graph, config, device, tracer=self.tracer
+                ).solve()
+            except (DeviceOOMError, SolveTimeoutError) as exc:
+                record.model_time_s += device.model_time_s - m0
+                record.error = f"{type(exc).__name__}: {exc}"
+                log.debug(
+                    "job %s attempt %d failed (%s)",
+                    request.job_id, record.attempts, type(exc).__name__,
+                )
+                if record.attempts >= self.degradation.max_attempts:
+                    return
+                next_config = self.degradation.next_config(config, exc)
+                if next_config is None:
+                    return
+                self.tracer.counter("service.retries")
+                config = next_config
+                record.degraded = True
+                continue
+            record.model_time_s += device.model_time_s - m0
+            record.status = STATUS_OK
+            record.error = None
+            record.clique_number = result.clique_number
+            record.num_maximum_cliques = result.num_maximum_cliques
+            record.enumerated_all = result.enumerated_all
+            # the executed mode degraded the answer when the caller
+            # asked for full enumeration but got a single clique
+            record.degraded = record.degraded or (
+                request.config.enumerate_all and not result.enumerated_all
+            )
+            record.stage_model_times = dict(result.stage_times)
+            record.result = result
+            return
+
+    @staticmethod
+    def _merge_timeout(
+        config: SolverConfig, timeout_s: Optional[float]
+    ) -> SolverConfig:
+        """Apply the per-job wall budget; the tighter limit wins."""
+        if timeout_s is None:
+            return config
+        if config.time_limit_s is not None and config.time_limit_s <= timeout_s:
+            return config
+        return replace(config, time_limit_s=timeout_s)
+
+    def _from_cache(
+        self, request: SolveRequest, cached: JobRecord, w0: float
+    ) -> JobRecord:
+        """A fresh record for a cache hit: zero device time charged."""
+        return JobRecord(
+            job_id=request.job_id,
+            status=STATUS_OK,
+            label=request.label,
+            clique_number=cached.clique_number,
+            num_maximum_cliques=cached.num_maximum_cliques,
+            enumerated_all=cached.enumerated_all,
+            cache_hit=True,
+            attempts=0,
+            admission="cache",
+            admission_reason="served from the result cache",
+            degraded=cached.degraded,
+            device=None,
+            model_time_s=0.0,
+            wall_time_s=time.perf_counter() - w0,
+            # how the cached result was computed, for provenance
+            stage_model_times=dict(cached.stage_model_times),
+            result=cached.result,
+        )

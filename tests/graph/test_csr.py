@@ -49,6 +49,45 @@ class TestBasics:
         assert (g2.col_indices == paper_graph.col_indices).all()
 
 
+class TestFingerprint:
+    def test_stable_across_instances(self, triangle):
+        same = from_edge_list([(0, 1), (1, 2), (0, 2)])
+        assert triangle.fingerprint() == same.fingerprint()
+
+    def test_memoised(self, triangle):
+        assert triangle.fingerprint() is triangle.fingerprint()
+
+    def test_is_hex_sha256(self, triangle):
+        fp = triangle.fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)  # parses as hex
+
+    def test_differs_on_edge_change(self, triangle, path4):
+        assert triangle.fingerprint() != path4.fingerprint()
+
+    def test_differs_on_isolated_vertex(self):
+        g1 = from_edge_list([(0, 1)], num_vertices=2)
+        g2 = from_edge_list([(0, 1)], num_vertices=3)
+        assert g1.fingerprint() != g2.fingerprint()
+
+    def test_differs_on_relabel(self):
+        # isomorphic graphs with different labels are different inputs
+        g1 = from_edge_list([(0, 1), (1, 2)])
+        g2 = from_edge_list([(0, 2), (2, 1)])
+        assert g1.fingerprint() != g2.fingerprint()
+
+    def test_generator_determinism(self):
+        a = gen.erdos_renyi(40, 0.2, seed=3)
+        b = gen.erdos_renyi(40, 0.2, seed=3)
+        c = gen.erdos_renyi(40, 0.2, seed=4)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_empty_graph_fingerprint(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int32))
+        assert len(g.fingerprint()) == 64
+
+
 class TestValidation:
     def test_bad_row_offsets_start(self):
         with pytest.raises(GraphFormatError):

@@ -1,0 +1,122 @@
+"""Admission control: memory estimates and launch-mode decisions."""
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.graph import generators as gen
+from repro.service import (
+    AdmissionController,
+    estimate_memory,
+    windowed_variant,
+)
+from repro.service.admission import ADMIT_FULL, ADMIT_WINDOWED, REJECT
+
+MIB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def sparse():
+    """Large-n, low-degree: tiny Moon-Moser expansion."""
+    return gen.road_grid(30, 30)
+
+
+@pytest.fixture(scope="module")
+def dense():
+    """Community graph with heavy tails: huge projected expansion."""
+    return gen.caveman_social(20, 130, p_in=0.48, seed=11)
+
+
+class TestEstimate:
+    def test_components_positive(self, sparse):
+        est = estimate_memory(sparse)
+        assert est.csr_bytes > 0
+        assert est.working_bytes == 16 * sparse.num_vertices
+        assert est.two_clique_bytes == 8 * sparse.num_edges
+        assert est.expansion_factor >= 1.0
+        assert est.full_total_bytes >= est.windowed_floor_bytes > 0
+
+    def test_denser_graph_larger_expansion(self, sparse, dense):
+        assert (
+            estimate_memory(dense).expansion_factor
+            > estimate_memory(sparse).expansion_factor
+        )
+
+    def test_expansion_capped(self):
+        g = gen.planted_clique(300, 200, avg_degree=150.0, seed=1)
+        est = estimate_memory(g)
+        assert est.expansion_factor <= 3.0 ** (48.0 / 3.0)
+
+
+class TestDecide:
+    def test_sparse_graph_admitted_full(self, sparse):
+        decision = AdmissionController().decide(sparse, SolverConfig(), 192 * MIB)
+        assert decision.decision == ADMIT_FULL
+        assert decision.admitted
+        assert decision.config == SolverConfig()
+
+    def test_over_budget_rewritten_windowed(self, dense):
+        decision = AdmissionController().decide(dense, SolverConfig(), 8 * MIB)
+        assert decision.decision == ADMIT_WINDOWED
+        assert decision.admitted
+        assert decision.config.windowed
+        assert decision.config.window_size == "auto"
+        assert decision.config.adaptive_windowing
+        assert "Moon-Moser" in decision.reason
+
+    def test_below_floor_rejected(self, dense):
+        floor = estimate_memory(dense).windowed_floor_bytes
+        decision = AdmissionController().decide(dense, SolverConfig(), floor - 1)
+        assert decision.decision == REJECT
+        assert not decision.admitted
+        assert "exceeds" in decision.reason
+        # the original config comes back untouched
+        assert decision.config == SolverConfig()
+
+    def test_requested_windowing_preserved(self, sparse):
+        config = SolverConfig(window_size=256)
+        decision = AdmissionController().decide(sparse, config, 192 * MIB)
+        assert decision.decision == ADMIT_WINDOWED
+        assert decision.config.window_size == 256  # user's choice kept
+
+    def test_unbounded_budget_never_rejects(self, dense):
+        decision = AdmissionController().decide(dense, SolverConfig(), None)
+        assert decision.decision == ADMIT_FULL
+        assert decision.budget_bytes is None
+
+    def test_safety_factor_tightens_full(self, sparse):
+        est = estimate_memory(sparse)
+        budget = est.full_total_bytes + 1  # fits outright, not with headroom
+        loose = AdmissionController(safety_factor=1.0).decide(
+            sparse, SolverConfig(), budget
+        )
+        tight = AdmissionController(safety_factor=0.5).decide(
+            sparse, SolverConfig(), budget
+        )
+        assert loose.decision == ADMIT_FULL
+        assert tight.decision == ADMIT_WINDOWED
+
+    def test_bad_safety_factor(self):
+        with pytest.raises(ValueError):
+            AdmissionController(safety_factor=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(safety_factor=1.5)
+
+
+class TestWindowedVariant:
+    def test_defaults_to_auto_adaptive(self):
+        rewritten = windowed_variant(SolverConfig())
+        assert rewritten.window_size == "auto"
+        assert rewritten.adaptive_windowing
+        assert not rewritten.enumerate_all  # windowed implies single-clique
+
+    def test_existing_window_size_kept(self):
+        rewritten = windowed_variant(SolverConfig(window_size=128))
+        assert rewritten.window_size == 128
+        assert rewritten.adaptive_windowing
+
+    def test_fanout_blocks_adaptive(self):
+        rewritten = windowed_variant(
+            SolverConfig(window_size=128, window_fanout=4)
+        )
+        assert rewritten.window_fanout == 4
+        assert not rewritten.adaptive_windowing

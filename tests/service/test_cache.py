@@ -1,0 +1,105 @@
+"""Result cache: keys, LRU behaviour, counters."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.graph import generators as gen
+from repro.service import ResultCache, config_fingerprint, request_key
+from repro.trace import JsonTracer
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_equal_fingerprints(self):
+        assert config_fingerprint(SolverConfig()) == config_fingerprint(
+            SolverConfig()
+        )
+
+    def test_result_relevant_field_changes_key(self):
+        base = SolverConfig()
+        assert config_fingerprint(base) != config_fingerprint(
+            replace(base, heuristic="none")
+        )
+        assert config_fingerprint(base) != config_fingerprint(
+            replace(base, window_size=64, enumerate_all=False)
+        )
+
+    def test_host_only_fields_excluded(self):
+        base = SolverConfig()
+        assert config_fingerprint(base) == config_fingerprint(
+            replace(base, time_limit_s=0.5)
+        )
+        assert config_fingerprint(base) == config_fingerprint(
+            replace(base, chunk_pairs=123)
+        )
+
+    def test_enum_spelling_and_enum_value_agree(self):
+        # "multi-degree" (string) and Heuristic.MULTI_DEGREE (enum)
+        # normalise to the same canonical key
+        assert config_fingerprint(SolverConfig(heuristic="multi-degree")) == (
+            config_fingerprint(SolverConfig())
+        )
+
+
+class TestRequestKey:
+    def test_same_content_same_key(self):
+        g1 = gen.erdos_renyi(40, 0.3, seed=7)
+        g2 = gen.erdos_renyi(40, 0.3, seed=7)
+        assert request_key(g1, SolverConfig()) == request_key(g2, SolverConfig())
+
+    def test_different_graph_different_key(self):
+        g1 = gen.erdos_renyi(40, 0.3, seed=7)
+        g2 = gen.erdos_renyi(40, 0.3, seed=8)
+        assert request_key(g1, SolverConfig()) != request_key(g2, SolverConfig())
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get(("g", "c")) is None
+        cache.put(("g", "c"), "value")
+        assert cache.get(("g", "c")) == "value"
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put(("a", ""), 1)
+        cache.put(("b", ""), 2)
+        assert cache.get(("a", "")) == 1  # refresh "a": "b" is now LRU
+        cache.put(("c", ""), 3)
+        assert cache.get(("b", "")) is None
+        assert cache.get(("a", "")) == 1
+        assert cache.get(("c", "")) == 3
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        cache.put(("g", "c"), "value")
+        assert cache.get(("g", "c")) is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(capacity=4)
+        cache.put(("g", "c"), 1)
+        cache.get(("g", "c"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(("g", "c")) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_tracer_counters(self):
+        tracer = JsonTracer()
+        cache = ResultCache(capacity=1, tracer=tracer)
+        cache.get(("a", ""))
+        cache.put(("a", ""), 1)
+        cache.get(("a", ""))
+        cache.put(("b", ""), 2)  # evicts "a"
+        assert tracer.counters["service.cache.misses"] == 1
+        assert tracer.counters["service.cache.hits"] == 1
+        assert tracer.counters["service.cache.evictions"] == 1

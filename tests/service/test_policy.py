@@ -1,0 +1,94 @@
+"""Degradation ladder: every rung, and where it ends."""
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.errors import DeviceOOMError, GraphFormatError, SolveTimeoutError
+from repro.service import DegradationPolicy
+
+OOM = DeviceOOMError(requested=1024, in_use=0, budget=512)
+TIMEOUT = SolveTimeoutError("slow")
+
+
+@pytest.fixture
+def policy():
+    return DegradationPolicy(max_attempts=3, min_window=64)
+
+
+class TestOOMLadder:
+    def test_full_falls_back_to_windowed(self, policy):
+        nxt = policy.next_config(SolverConfig(), OOM)
+        assert nxt is not None
+        assert nxt.window_size == "auto"
+        assert nxt.adaptive_windowing
+        assert not nxt.enumerate_all
+
+    def test_auto_window_falls_back_to_fixed(self, policy):
+        cfg = SolverConfig(window_size="auto")
+        nxt = policy.next_config(cfg, OOM)
+        assert isinstance(nxt.window_size, int)
+        assert nxt.window_size >= policy.min_window
+        assert nxt.adaptive_windowing
+
+    def test_fixed_window_halves(self, policy):
+        cfg = SolverConfig(window_size=4096)
+        nxt = policy.next_config(cfg, OOM)
+        assert nxt.window_size == 2048
+
+    def test_halving_floors_at_min_window(self, policy):
+        cfg = SolverConfig(window_size=100)
+        nxt = policy.next_config(cfg, OOM)
+        assert nxt.window_size == policy.min_window
+
+    def test_ladder_exhausts_at_min_window(self, policy):
+        cfg = SolverConfig(window_size=64, adaptive_windowing=True)
+        assert policy.next_config(cfg, OOM) is None
+
+    def test_fanout_reset_for_adaptive_retry(self, policy):
+        cfg = SolverConfig(window_size=1024, window_fanout=4)
+        nxt = policy.next_config(cfg, OOM)
+        assert nxt.window_fanout == 1
+        assert nxt.adaptive_windowing
+
+
+class TestTimeoutLadder:
+    def test_enumeration_degrades_to_early_exit(self, policy):
+        nxt = policy.next_config(SolverConfig(), TIMEOUT)
+        assert nxt is not None
+        assert not nxt.enumerate_all
+        assert nxt.early_exit_heuristic
+        assert nxt.window_size == "auto"
+
+    def test_single_clique_gains_early_exit(self, policy):
+        cfg = SolverConfig(window_size=256, enumerate_all=False)
+        nxt = policy.next_config(cfg, TIMEOUT)
+        assert nxt.early_exit_heuristic
+        assert nxt.window_size == 256
+
+    def test_cheapest_mode_gives_up(self, policy):
+        cfg = SolverConfig(
+            window_size=256, enumerate_all=False, early_exit_heuristic=True
+        )
+        assert policy.next_config(cfg, TIMEOUT) is None
+
+    def test_configs_stay_valid_down_the_ladder(self, policy):
+        # every rung must produce a SolverConfig that passes validation
+        # (replace() re-runs __post_init__); walking until exhaustion
+        # proves no rung emits an inconsistent combination
+        cfg = SolverConfig()
+        for error in (TIMEOUT, OOM, OOM, OOM, OOM, OOM, OOM):
+            nxt = policy.next_config(cfg, error)
+            if nxt is None:
+                break
+            cfg = nxt
+
+
+class TestPolicyEdges:
+    def test_non_retryable_error(self, policy):
+        assert policy.next_config(SolverConfig(), GraphFormatError("bad")) is None
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(min_window=0)

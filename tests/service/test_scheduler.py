@@ -1,0 +1,92 @@
+"""Job ordering policies and the device pool."""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.gpusim import DeviceSpec
+from repro.service import DevicePool, Scheduler, SolveRequest, expected_cost
+
+MIB = 1 << 20
+
+
+def _req(graph, seq, priority=0):
+    r = SolveRequest(graph=graph, priority=priority)
+    r.seq = seq
+    r.job_id = f"job-{seq}"
+    return r
+
+
+@pytest.fixture(scope="module")
+def small():
+    return gen.road_grid(10, 10)
+
+
+@pytest.fixture(scope="module")
+def big():
+    return gen.caveman_social(10, 50, p_in=0.45, seed=5)
+
+
+class TestExpectedCost:
+    def test_denser_costs_more(self, small, big):
+        assert expected_cost(big) > expected_cost(small)
+
+    def test_cost_is_pure(self, big):
+        assert expected_cost(big) == expected_cost(big)
+
+    def test_empty_graph(self):
+        assert expected_cost(gen.erdos_renyi(5, 0.0)) == 0.0
+
+
+class TestScheduler:
+    def test_fifo_preserves_submission_order(self, small, big):
+        reqs = [_req(big, 0), _req(small, 1), _req(big, 2)]
+        assert [r.seq for r in Scheduler("fifo").order(reqs)] == [0, 1, 2]
+
+    def test_sef_puts_cheap_jobs_first(self, small, big):
+        reqs = [_req(big, 0), _req(small, 1)]
+        assert [r.seq for r in Scheduler("sef").order(reqs)] == [1, 0]
+
+    def test_priority_dominates_both_policies(self, small, big):
+        reqs = [_req(small, 0), _req(big, 1, priority=5)]
+        for policy in ("fifo", "sef"):
+            assert [r.seq for r in Scheduler(policy).order(reqs)] == [1, 0]
+
+    def test_sef_ties_break_by_submission(self, small):
+        reqs = [_req(small, 0), _req(small, 1), _req(small, 2)]
+        assert [r.seq for r in Scheduler("sef").order(reqs)] == [0, 1, 2]
+
+    def test_order_does_not_mutate_input(self, small, big):
+        reqs = [_req(big, 0), _req(small, 1)]
+        Scheduler("sef").order(reqs)
+        assert [r.seq for r in reqs] == [0, 1]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Scheduler("lifo")
+
+
+class TestDevicePool:
+    def test_least_loaded_prefers_idle_device(self):
+        pool = DevicePool(2, DeviceSpec(memory_bytes=MIB))
+        i, device = pool.least_loaded()
+        assert i == 0  # tie broken by lowest index
+        device.charge_time(1e-3)
+        assert pool.least_loaded()[0] == 1
+
+    def test_makespan_and_total(self):
+        pool = DevicePool(2, DeviceSpec(memory_bytes=MIB))
+        pool.devices[0].charge_time(3e-3)
+        pool.devices[1].charge_time(1e-3)
+        assert pool.makespan_model_s == pytest.approx(3e-3)
+        assert pool.total_model_s == pytest.approx(4e-3)
+
+    def test_summary_shape(self):
+        pool = DevicePool(2, DeviceSpec(memory_bytes=MIB))
+        pool.note_dispatch(1)
+        summary = pool.summary()
+        assert [d["device"] for d in summary] == [0, 1]
+        assert [d["jobs"] for d in summary] == [0, 1]
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            DevicePool(0)

@@ -1,0 +1,260 @@
+"""SolveService end-to-end: caching, admission, the degradation ladder."""
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import MaxCliqueSolver
+from repro.errors import DeviceOOMError
+from repro.gpusim import Device, DeviceSpec
+from repro.graph import generators as gen
+from repro.service import SolveService
+from repro.trace import JsonTracer
+
+MIB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def community():
+    """Small community graph solved comfortably at any sane budget."""
+    return gen.caveman_social(6, 40, p_in=0.35, seed=3)
+
+
+@pytest.fixture(scope="module")
+def community_omega(community):
+    return MaxCliqueSolver(community, SolverConfig(), Device()).solve().clique_number
+
+
+@pytest.fixture(scope="module")
+def monster():
+    """fb-comm-20x130-sized graph: full search OOMs below ~100 GiB
+    projected, windowed succeeds at a few MiB."""
+    return gen.caveman_social(20, 130, p_in=0.48, seed=11)
+
+
+class TestBasics:
+    def test_single_job_ok(self, community, community_omega):
+        service = SolveService()
+        record = service.solve(community)
+        assert record.ok and record.status == "ok"
+        assert record.clique_number == community_omega
+        assert record.attempts == 1
+        assert record.admission == "full"
+        assert record.cache_hit is False
+        assert record.device == 0
+        assert record.model_time_s > 0.0
+        assert record.result is not None
+
+    def test_record_carries_stage_breakdown(self, community):
+        record = SolveService().solve(community)
+        assert set(record.stage_model_times) >= {"csr_upload", "setup", "bfs"}
+        assert record.model_time_s == pytest.approx(
+            sum(record.stage_model_times.values())
+        )
+
+    def test_job_ids_and_pending(self, community):
+        service = SolveService()
+        assert service.submit_graph(community) == "job-0"
+        assert service.submit_graph(community, job_id="mine") == "mine"
+        assert service.pending == 2
+        records = service.run()
+        assert service.pending == 0
+        assert [r.job_id for r in records] == ["job-0", "mine"]
+
+    def test_submit_graph_rejects_conflicting_args(self, community):
+        with pytest.raises(ValueError):
+            SolveService().submit_graph(
+                community, SolverConfig(), heuristic="none"
+            )
+
+    def test_to_dict_is_json_safe(self, community):
+        import json
+
+        record = SolveService().solve(community)
+        payload = record.to_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["status"] == "ok"
+        assert "result" not in payload
+        assert payload["stage_model_times_s"] == record.stage_model_times
+
+
+class TestCache:
+    def test_duplicate_request_hits_cache(self, community):
+        tracer = JsonTracer()
+        service = SolveService(tracer=tracer)
+        service.submit_graph(community)
+        service.submit_graph(community)
+        first, second = service.run()
+        assert first.cache_hit is False and second.cache_hit is True
+        # the hit charges zero device model time and runs nothing
+        assert second.model_time_s == 0.0
+        assert second.attempts == 0
+        assert second.admission == "cache"
+        assert second.clique_number == first.clique_number
+        assert second.stage_model_times == first.stage_model_times
+        assert tracer.counters["service.cache.hits"] == 1
+        assert tracer.counters["service.cache.misses"] == 1
+        # device clock did not move for the cached job
+        assert service.pool.total_model_s == pytest.approx(first.model_time_s)
+
+    def test_equal_content_different_instance_hits(self, community):
+        twin = gen.caveman_social(6, 40, p_in=0.35, seed=3)
+        service = SolveService()
+        service.submit_graph(community)
+        service.submit_graph(twin)
+        assert [r.cache_hit for r in service.run()] == [False, True]
+
+    def test_different_config_misses(self, community):
+        service = SolveService()
+        service.submit_graph(community)
+        service.submit_graph(community, heuristic="none")
+        assert [r.cache_hit for r in service.run()] == [False, False]
+
+    def test_cache_disabled(self, community):
+        service = SolveService(cache_size=0)
+        service.submit_graph(community)
+        service.submit_graph(community)
+        assert [r.cache_hit for r in service.run()] == [False, False]
+
+    def test_failed_jobs_not_cached(self, community):
+        def explode(request, attempt, config):
+            raise DeviceOOMError(requested=1, in_use=0, budget=0)
+
+        service = SolveService(fault_hook=explode, max_attempts=2)
+        assert service.solve(community).status == "failed"
+        service.fault_hook = None
+        record = service.solve(community)
+        assert record.status == "ok" and record.cache_hit is False
+
+
+class TestAdmission:
+    def test_over_budget_graph_admitted_windowed(self, monster):
+        # the full search OOMs at this budget (the admission estimate
+        # projects ~90 GiB); the service must land it windowed instead
+        service = SolveService(spec=DeviceSpec(memory_bytes=4 * MIB))
+        record = service.solve(monster)
+        assert record.status == "ok"
+        assert record.admission == "windowed"
+        assert record.attempts == 1  # admitted right the first time
+        assert record.clique_number == 10
+        assert record.degraded  # single clique, not full enumeration
+        assert "windowed" in record.stage_model_times
+
+    def test_hopeless_budget_rejected(self, monster):
+        tracer = JsonTracer()
+        service = SolveService(
+            spec=DeviceSpec(memory_bytes=MIB), tracer=tracer
+        )
+        record = service.solve(monster)
+        assert record.status == "rejected"
+        assert not record.ok
+        assert record.attempts == 0  # refused before any launch
+        assert record.device is None
+        assert "exceeds" in record.admission_reason
+        assert service.pool.total_model_s == 0.0
+        assert tracer.counters["service.admit.reject"] == 1
+        assert tracer.counters["service.jobs.rejected"] == 1
+
+    def test_summary_counts(self, community, monster):
+        service = SolveService(spec=DeviceSpec(memory_bytes=8 * MIB))
+        service.submit_graph(community)
+        service.submit_graph(community)
+        service.submit_graph(monster)
+        service.run()
+        summary = service.summary()
+        assert summary.total == 3
+        assert summary.ok == 3
+        assert summary.cache_hits == 1
+        assert summary.rejected == summary.failed == 0
+        assert summary.model_time_s > 0.0
+        assert summary.to_dict()["devices"] == 1
+
+
+class TestDegradationLadder:
+    def test_injected_oom_retries_windowed(self, community, community_omega):
+        """First attempt OOMs; the ladder lands the job windowed."""
+        failed = []
+
+        def fail_first(request, attempt, config):
+            if attempt == 1:
+                failed.append(request.job_id)
+                raise DeviceOOMError(requested=MIB, in_use=0, budget=MIB)
+
+        tracer = JsonTracer()
+        service = SolveService(fault_hook=fail_first, tracer=tracer)
+        record = service.solve(community)
+        assert failed == [record.job_id]
+        assert record.status == "ok"
+        assert record.attempts == 2
+        assert record.degraded
+        assert record.clique_number == community_omega
+        assert "windowed" in record.stage_model_times
+        assert tracer.counters["service.retries"] == 1
+
+    def test_max_attempts_exhausts(self, community):
+        def always(request, attempt, config):
+            raise DeviceOOMError(requested=MIB, in_use=0, budget=MIB)
+
+        service = SolveService(fault_hook=always, max_attempts=2)
+        record = service.solve(community)
+        assert record.status == "failed"
+        assert record.attempts == 2
+        assert "DeviceOOMError" in record.error
+        assert record.clique_number is None
+
+    def test_real_oom_degrades_without_injection(self, monster):
+        """A genuinely over-budget *windowed* request (caller pinned a
+        huge window) OOMs for real and is retried smaller."""
+        service = SolveService(spec=DeviceSpec(memory_bytes=4 * MIB))
+        record = service.solve(
+            monster, SolverConfig(window_size=200000, enumerate_all=False)
+        )
+        assert record.status == "ok"
+        assert record.attempts >= 2
+        assert record.degraded
+        assert record.clique_number == 10
+
+
+class TestPoolScheduling:
+    def test_jobs_spread_across_devices(self, community):
+        other = gen.caveman_social(6, 40, p_in=0.35, seed=4)
+        service = SolveService(devices=2)
+        service.submit_graph(community)
+        service.submit_graph(other)
+        records = service.run()
+        assert sorted(r.device for r in records) == [0, 1]
+        summary = service.summary()
+        assert summary.makespan_model_s < summary.model_time_s
+
+    def test_sef_runs_cheap_job_first(self, community):
+        tiny = gen.road_grid(5, 5)
+        service = SolveService(policy="sef")
+        service.submit_graph(community, label="big")
+        service.submit_graph(tiny, label="small")
+        records = service.run()
+        assert [r.label for r in records] == ["small", "big"]
+
+    def test_service_span_emitted(self, community):
+        tracer = JsonTracer()
+        service = SolveService(tracer=tracer)
+        service.solve(community)
+        spans = [s for s in tracer.spans if s.name == "service.job"]
+        assert len(spans) == 1
+        assert spans[0].category == "service"
+        assert spans[0].attrs["admission"] == "full"
+
+
+class TestTimeout:
+    def test_default_timeout_applies(self, monster):
+        service = SolveService(
+            spec=DeviceSpec(memory_bytes=64 * MIB),
+            default_timeout_s=1e-6,
+            max_attempts=1,
+        )
+        record = service.solve(monster, SolverConfig(heuristic="none"))
+        assert record.status == "failed"
+        assert "SolveTimeoutError" in record.error
+
+    def test_per_request_timeout_overrides_default(self, community):
+        service = SolveService(default_timeout_s=1e-6)
+        record = service.solve(community, timeout_s=60.0)
+        assert record.status == "ok"
