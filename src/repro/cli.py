@@ -27,7 +27,14 @@ from typing import List, Optional
 
 from .core.config import SolverConfig
 from .core.solver import MaxCliqueSolver
-from .errors import DeviceOOMError, JobSpecError, SolveTimeoutError
+from .errors import (
+    CheckpointError,
+    DeviceLostError,
+    DeviceOOMError,
+    FaultPlanError,
+    JobSpecError,
+    SolveTimeoutError,
+)
 from .graph.csr import CSRGraph
 from .gpusim.device import Device
 from .gpusim.spec import DeviceSpec
@@ -128,7 +135,55 @@ def _add_solver_args(p: argparse.ArgumentParser) -> None:
         "--json", action="store_true",
         help="emit a machine-readable JSON result instead of text",
     )
+    p.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="checkpoint file for the windowed search: resumed from if "
+        "it exists, rewritten after every completed window, removed on "
+        "success (requires --window)",
+    )
     _add_trace_args(p)
+
+
+def _checkpoint_round_trip(args: argparse.Namespace, graph, config):
+    """Resolve ``solve --checkpoint``: (resume point, per-window sink).
+
+    The file is the durable half of the round trip: loaded (and
+    validated against this graph+config) when present, rewritten after
+    every completed window, and deleted by the caller on success.
+    """
+    if args.checkpoint is None:
+        return None, None
+    if not config.windowed:
+        raise SystemExit(
+            "error: --checkpoint requires a windowed search (set --window)"
+        )
+    from .core.checkpoint import load_checkpoint
+    from .core.config import config_fingerprint
+
+    path = Path(args.checkpoint)
+    checkpoint = None
+    if path.exists():
+        try:
+            checkpoint = load_checkpoint(path)
+            checkpoint.validate_for(
+                graph.fingerprint(), config_fingerprint(config)
+            )
+        except CheckpointError as exc:
+            raise SystemExit(f"error: {exc}")
+        if not args.json:
+            out.info(
+                f"checkpoint: resuming from {path} "
+                f"({checkpoint.windows_done}/{checkpoint.total_windows} "
+                f"windows done, best={checkpoint.omega})"
+            )
+
+    def sink(ckpt) -> None:
+        try:
+            ckpt.save(path)
+        except OSError as exc:
+            raise SystemExit(f"error: cannot write checkpoint {path}: {exc}")
+
+    return checkpoint, sink
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -146,10 +201,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     )
     device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
     tracer = _make_tracer(args)
+    checkpoint, checkpoint_sink = _checkpoint_round_trip(args, graph, config)
     if not args.json:
         out.info(f"graph: {graph}")
     try:
-        result = MaxCliqueSolver(graph, config, device, tracer=tracer).solve()
+        result = MaxCliqueSolver(
+            graph,
+            config,
+            device,
+            tracer=tracer,
+            checkpoint=checkpoint,
+            checkpoint_sink=checkpoint_sink,
+        ).solve()
+        if args.checkpoint is not None:
+            # the solve finished: the round trip is complete
+            Path(args.checkpoint).unlink(missing_ok=True)
+    except DeviceLostError as exc:
+        out.info(f"device lost: {exc}")
+        if args.checkpoint is not None and Path(args.checkpoint).exists():
+            out.info(f"hint: re-run with the same --checkpoint {args.checkpoint}")
+            out.info("      to resume from the last completed window")
+        _export_trace(tracer, args)
+        return 4
     except DeviceOOMError as exc:
         out.info(f"OOM: {exc}")
         out.info("hint: try --window 1024 (optionally --adaptive), a stronger")
@@ -209,6 +282,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except JobSpecError as exc:
         out.info(f"error: {exc}")
         return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        from .gpusim.faults import load_fault_plan
+
+        try:
+            fault_plan = load_fault_plan(args.fault_plan)
+        except FaultPlanError as exc:
+            out.info(f"error: {exc}")
+            return 2
+        if not args.json:
+            out.info(
+                f"chaos: injecting {len(fault_plan)} fault(s) from "
+                f"{args.fault_plan}"
+            )
     tracer = _make_tracer(args)
     service = SolveService(
         devices=args.devices,
@@ -218,6 +305,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         default_timeout_s=args.timeout,
         tracer=tracer,
+        fault_plan=fault_plan,
     )
     for request in requests:
         service.submit(request)
@@ -253,6 +341,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 [
                     " cache" if r.cache_hit else "",
                     " degraded" if r.degraded else "",
+                    f" transient-retries={r.transient_retries}"
+                    if r.transient_retries
+                    else "",
+                    f" migrations={r.migrations}" if r.migrations else "",
                 ]
             )
             out.info(
@@ -391,6 +483,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_batch.add_argument(
         "--max-attempts", type=int, default=3,
         help="attempts per job along the degradation ladder (default 3)",
+    )
+    p_batch.add_argument(
+        "--fault-plan", metavar="PATH", default=None,
+        help="inject deterministic device faults from a fault-plan file "
+        "(JSON, repro-fault-plan/1; see docs/SERVICE.md) -- results must "
+        "match the fault-free run, only fault accounting differs",
     )
     p_batch.add_argument(
         "--json", action="store_true",

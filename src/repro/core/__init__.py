@@ -1,10 +1,18 @@
 """The paper's core contribution: breadth-first maximum clique enumeration."""
 
 from .bfs import BFSOutcome, bfs_search
+from .checkpoint import SearchCheckpoint, load_checkpoint
 from .clique_counts import clique_profile, count_k_cliques
 from .concurrent import concurrent_windowed_search
 from .clique_list import CliqueList, CliqueListNode
-from .config import Heuristic, RankKey, SolverConfig, SublistOrder, WindowOrder
+from .config import (
+    Heuristic,
+    RankKey,
+    SolverConfig,
+    SublistOrder,
+    WindowOrder,
+    config_fingerprint,
+)
 from .heuristics import multi_run_greedy, run_heuristic, single_run_greedy
 from .result import (
     HeuristicReport,
@@ -39,6 +47,9 @@ __all__ = [
     "WindowedOutcome",
     "split_windows",
     "auto_window_size",
+    "SearchCheckpoint",
+    "load_checkpoint",
+    "config_fingerprint",
     "run_heuristic",
     "single_run_greedy",
     "multi_run_greedy",

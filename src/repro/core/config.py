@@ -10,7 +10,7 @@ pre-pruning, Moon-Moser window sizing).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional, Union
 
 from ..errors import SolverConfigError
@@ -21,6 +21,7 @@ __all__ = [
     "SublistOrder",
     "WindowOrder",
     "SolverConfig",
+    "config_fingerprint",
 ]
 
 
@@ -190,3 +191,27 @@ class SolverConfig:
     @property
     def windowed(self) -> bool:
         return self.window_size is not None
+
+
+#: config fields that cannot change the solve's *result*, only how
+#: long the host takes to produce it -- excluded from fingerprints
+_HOST_ONLY_FIELDS = frozenset({"chunk_pairs", "time_limit_s"})
+
+
+def config_fingerprint(config: SolverConfig) -> str:
+    """Canonical string of the result-relevant config fields.
+
+    Used as half of the service's cache key and stamped into search
+    checkpoints so a checkpoint can never be resumed under a
+    configuration that would change the answer. Host-side-only knobs
+    (``chunk_pairs``, ``time_limit_s``) are excluded.
+    """
+    parts = []
+    for f in sorted(fields(config), key=lambda f: f.name):
+        if f.name in _HOST_ONLY_FIELDS:
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, enum.Enum):
+            value = value.value
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)

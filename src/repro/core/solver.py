@@ -66,6 +66,15 @@ class MaxCliqueSolver:
         Structured tracer receiving per-stage spans, per-kernel
         events, and counters (see :mod:`repro.trace`); the default
         no-op tracer records nothing and changes nothing.
+    checkpoint:
+        Resume a windowed search from a
+        :class:`~repro.core.checkpoint.SearchCheckpoint`; validated
+        against the graph and configuration before any window runs.
+        Requires a windowed config with ``window_fanout == 1``.
+    checkpoint_sink:
+        Callback invoked with a stamped checkpoint after every
+        completed window of a windowed search; use it to persist
+        resumable state (the CLI writes it to ``--checkpoint PATH``).
     """
 
     def __init__(
@@ -74,11 +83,15 @@ class MaxCliqueSolver:
         config: Optional[SolverConfig] = None,
         device: Optional[Device] = None,
         tracer: Tracer = NULL_TRACER,
+        checkpoint=None,
+        checkpoint_sink=None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else SolverConfig()
         self.device = device if device is not None else Device()
         self.tracer = tracer
+        self.checkpoint = checkpoint
+        self.checkpoint_sink = checkpoint_sink
 
     def stages(self) -> List[Stage]:
         """The stage list :meth:`solve` will run (assembly point).
@@ -104,7 +117,12 @@ class MaxCliqueSolver:
         from ..pipeline.runner import run_pipeline
 
         ctx = ExecutionContext.begin(
-            self.graph, self.config, self.device, self.tracer
+            self.graph,
+            self.config,
+            self.device,
+            self.tracer,
+            checkpoint=self.checkpoint,
+            checkpoint_sink=self.checkpoint_sink,
         )
         trivial = self._trivial_result(ctx)
         if trivial is not None:

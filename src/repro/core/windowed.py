@@ -22,14 +22,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import DeviceOOMError, SolveTimeoutError
+from ..errors import DeviceLostError, DeviceOOMError, SolveTimeoutError
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
 from .bfs import BFSOutcome, bfs_search
+from .checkpoint import SearchCheckpoint
 from .config import WindowOrder
 from .result import LevelStats, WindowStats
 
@@ -154,6 +155,8 @@ def windowed_search(
     early_exit_heuristic: bool = False,
     deadline: Optional[float] = None,
     adaptive: bool = False,
+    checkpoint: Optional[SearchCheckpoint] = None,
+    checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]] = None,
 ) -> WindowedOutcome:
     """Run the windowed variant over a prepared 2-clique list.
 
@@ -166,6 +169,17 @@ def windowed_search(
     is retried, recursively, down to single sublists. Only a single
     sublist whose own subtree exceeds the budget still raises
     :class:`~repro.errors.DeviceOOMError`.
+
+    Checkpoint/resume: with a ``checkpoint`` the sweep skips its
+    completed windows and resumes from the checkpoint's pending ranges
+    with its best clique as the ω̄ floor (the caller must have verified
+    graph/config identity -- ranges index the *ordered* 2-clique list).
+    ``checkpoint_sink`` is called with a fresh
+    :class:`~repro.core.checkpoint.SearchCheckpoint` after every
+    completed window (fingerprints left empty at this layer); a
+    :class:`~repro.errors.DeviceLostError` escaping a window carries
+    the latest state in its ``checkpoint`` attribute, with the
+    interrupted window first in ``pending``.
     """
     if isinstance(window_size, str):
         window_size = auto_window_size(graph, device, src.size)
@@ -174,11 +188,33 @@ def windowed_search(
 
     best_clique = np.asarray(heuristic_clique, dtype=np.int32)
     best = int(best_clique.size) if best_clique.size else max(omega_bar, 0)
-    outcome = WindowedOutcome(best_clique=best_clique, omega=best)
 
     # LIFO work list so adaptive splits are processed depth-first
-    pending = list(reversed(split_windows(src, window_size)))
-    w_index = -1
+    if checkpoint is not None:
+        pending = list(reversed(checkpoint.pending))
+        w_index = checkpoint.windows_done - 1
+        total_windows = checkpoint.total_windows
+        if checkpoint.omega > best:
+            best = checkpoint.omega
+            best_clique = np.asarray(checkpoint.best_clique, dtype=np.int32)
+    else:
+        pending = list(reversed(split_windows(src, window_size)))
+        w_index = -1
+        total_windows = len(pending)
+    outcome = WindowedOutcome(best_clique=best_clique, omega=best)
+
+    def snapshot(interrupted: Optional[Tuple[int, int]] = None) -> SearchCheckpoint:
+        remaining = list(reversed(pending))
+        if interrupted is not None:
+            remaining.insert(0, interrupted)
+        return SearchCheckpoint(
+            omega=best,
+            best_clique=[int(v) for v in np.asarray(best_clique).tolist()],
+            pending=remaining,
+            windows_done=w_index + 1,
+            total_windows=total_windows,
+        )
+
     while pending:
         a, b = pending.pop()
         w_index += 1
@@ -209,8 +245,13 @@ def windowed_search(
                 raise  # a single sublist's subtree exceeds the budget
             outcome.adaptive_splits += 1
             w_index -= 1  # the split window was not completed
+            total_windows += 1  # one window became two
             pending.extend(reversed(halves))
             continue
+        except DeviceLostError as exc:
+            w_index -= 1  # the interrupted window was not completed
+            exc.checkpoint = snapshot(interrupted=(a, b))
+            raise
         try:
             if result.omega > best and result.clique_list.nodes:
                 best = result.omega
@@ -233,6 +274,8 @@ def windowed_search(
             outcome.stopped_by_heuristic |= result.stopped_by_heuristic
         finally:
             result.clique_list.free_all()
+        if checkpoint_sink is not None:
+            checkpoint_sink(snapshot())
 
     outcome.best_clique = np.asarray(best_clique, dtype=np.int32)
     outcome.omega = best

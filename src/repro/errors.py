@@ -11,12 +11,18 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "AdmissionRejectedError",
+    "CheckpointError",
+    "DeviceLostError",
     "DeviceOOMError",
     "DeviceStateError",
+    "FaultPlanError",
+    "FlakyAllocError",
     "GraphFormatError",
     "JobSpecError",
     "SolverConfigError",
     "SolveTimeoutError",
+    "TransientDeviceError",
+    "TransientKernelError",
 ]
 
 
@@ -53,6 +59,65 @@ class DeviceOOMError(ReproError, MemoryError):
 
 class DeviceStateError(ReproError, RuntimeError):
     """Raised on invalid device operations (e.g. use-after-free)."""
+
+
+class TransientDeviceError(ReproError, RuntimeError):
+    """Base class for *transient* device faults.
+
+    A transient fault poisons one operation, not the device: retrying
+    the same work on the same device is expected to succeed. The solve
+    service retries these with the *same* configuration (bounded by
+    ``DegradationPolicy.max_transient_retries``) instead of walking the
+    degradation ladder, so a transient fault never changes the answer.
+    """
+
+
+class TransientKernelError(TransientDeviceError):
+    """A kernel launch failed transiently (injected fault).
+
+    Mirrors a sporadic ``cudaErrorLaunchFailure`` that a reset-free
+    retry survives. Raised by the fault injector
+    (:mod:`repro.gpusim.faults`) at planned launch ordinals.
+    """
+
+
+class FlakyAllocError(TransientDeviceError):
+    """A device allocation failed transiently (injected fault).
+
+    Unlike :class:`DeviceOOMError` this does not mean the budget is
+    exhausted -- the same allocation retried is expected to succeed, so
+    the service must *not* degrade the configuration in response.
+    """
+
+
+class DeviceLostError(ReproError, RuntimeError):
+    """The device fell off the bus (injected fault, fatal per-device).
+
+    Mirrors ``cudaErrorDeviceUnavailable``: every subsequent operation
+    on the device raises this too, until the pool replaces the device.
+    The windowed search attaches its latest
+    :class:`~repro.core.checkpoint.SearchCheckpoint` to the propagating
+    exception (attribute ``checkpoint``) so the service can migrate the
+    job to a healthy device and resume from the last completed window.
+    """
+
+    def __init__(self, message: str = "device lost") -> None:
+        super().__init__(message)
+        #: latest windowed-search checkpoint, attached on the way out
+        self.checkpoint = None
+
+
+class FaultPlanError(ReproError, ValueError):
+    """Raised when a fault-plan file or specification is invalid."""
+
+
+class CheckpointError(ReproError, ValueError):
+    """Raised when a search checkpoint cannot be applied.
+
+    Covers schema mismatches, corrupt files, and resuming against a
+    different graph or solver configuration than the checkpoint was
+    taken under.
+    """
 
 
 class GraphFormatError(ReproError, ValueError):

@@ -7,6 +7,7 @@ primitives. See DESIGN.md section 2 for the substitution rationale.
 """
 
 from .device import Device, DeviceStats, KernelProfile
+from .faults import FaultEvent, FaultInjector, FaultPlan, load_fault_plan
 from .memory import DeviceArray, MemoryPool
 from .spec import A100_LIKE, EPYC_LIKE, CPUSpec, DeviceSpec
 from . import primitives
@@ -15,6 +16,10 @@ __all__ = [
     "Device",
     "DeviceStats",
     "KernelProfile",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "load_fault_plan",
     "DeviceArray",
     "MemoryPool",
     "DeviceSpec",

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
+from ..errors import DeviceLostError
 from .memory import DeviceArray, MemoryPool
 from .spec import DeviceSpec
 
@@ -129,6 +130,37 @@ class Device:
         self._time_s = 0.0
         self._profiles: Dict[str, KernelProfile] = {}
         self._trace_hook: Optional[Callable[..., None]] = None
+        self._fault_injector = None  # Optional[repro.gpusim.faults.FaultInjector]
+        self._lost = False
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def set_fault_injector(self, injector) -> None:
+        """Install a :class:`~repro.gpusim.faults.FaultInjector` (or None).
+
+        With no injector installed (the default) launch and alloc paths
+        perform exactly the charges they perform today -- fault support
+        is zero-overhead when unused.
+        """
+        self._fault_injector = injector
+
+    @property
+    def fault_injector(self):
+        return self._fault_injector
+
+    @property
+    def lost(self) -> bool:
+        """True once the device has fallen off the bus (injected loss)."""
+        return self._lost
+
+    def mark_lost(self) -> None:
+        """Drop the device off the bus: all further work raises."""
+        self._lost = True
+
+    def _check_usable(self) -> None:
+        if self._lost:
+            raise DeviceLostError("device lost (all operations fail)")
 
     # ------------------------------------------------------------------
     # memory
@@ -141,6 +173,10 @@ class Device:
         fill: Optional[int] = None,
     ) -> DeviceArray:
         """Allocate a device array, optionally filled with a constant."""
+        if self._lost:
+            self._check_usable()
+        if self._fault_injector is not None:
+            self._fault_injector.on_alloc(self)
         if fill is None:
             arr = np.empty(shape, dtype=dtype)
         else:
@@ -149,6 +185,10 @@ class Device:
 
     def from_host(self, array: np.ndarray, label: str = "") -> DeviceArray:
         """Copy a host array onto the device (always a fresh buffer)."""
+        if self._lost:
+            self._check_usable()
+        if self._fault_injector is not None:
+            self._fault_injector.on_alloc(self)
         return DeviceArray(
             np.array(array, order="C", copy=True), self.pool, label=label
         )
@@ -212,6 +252,13 @@ class Device:
         self, n: int, useful: float, effective: float, critical: float,
         name: str = "",
     ) -> float:
+        # Fault hooks live here -- only *charged* launches advance the
+        # injector's launch ordinal, so ordinals line up exactly with
+        # the tracer's kernel-event indices.
+        if self._lost:
+            self._check_usable()
+        if self._fault_injector is not None:
+            self._fault_injector.on_launch(self)
         spec = self.spec
         throughput_bound = effective / spec.ops_per_second
         latency_bound = critical / spec.clock_hz

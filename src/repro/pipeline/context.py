@@ -29,6 +29,7 @@ from ..graph.csr import CSRGraph
 from ..trace import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # type-only: repro.core imports this package back
+    from ..core.checkpoint import SearchCheckpoint
     from ..core.config import SolverConfig
     from ..core.result import HeuristicReport, MaxCliqueResult, SetupStats
 
@@ -56,6 +57,13 @@ class ExecutionContext:
     setup_stats: Optional["SetupStats"] = None
     result: Optional["MaxCliqueResult"] = None
 
+    # --- checkpoint/resume ------------------------------------------
+    #: resume point for the windowed search (validated by the stage)
+    checkpoint: Optional["SearchCheckpoint"] = None
+    #: callback invoked with a stamped checkpoint after every completed
+    #: window; None disables checkpoint capture
+    checkpoint_sink: Optional[Callable[["SearchCheckpoint"], None]] = None
+
     # --- solve-scoped bookkeeping -----------------------------------
     t0: float = 0.0  # host wall clock at solve start
     m0: float = 0.0  # device model clock at solve start
@@ -77,6 +85,8 @@ class ExecutionContext:
         config: "SolverConfig",
         device: Device,
         tracer: Tracer = NULL_TRACER,
+        checkpoint: Optional["SearchCheckpoint"] = None,
+        checkpoint_sink: Optional[Callable[["SearchCheckpoint"], None]] = None,
     ) -> "ExecutionContext":
         """Open a context at the current clocks and reset the peak.
 
@@ -90,6 +100,8 @@ class ExecutionContext:
             config=config,
             device=device,
             tracer=tracer,
+            checkpoint=checkpoint,
+            checkpoint_sink=checkpoint_sink,
             t0=t0,
             m0=device.model_time_s,
             deadline=(

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.bfs import bfs_search
 from ..core.config import Heuristic, RankKey
+from ..core.config import config_fingerprint as _config_fingerprint
 from ..core.heuristics import run_heuristic
 from ..core.result import MaxCliqueResult, SetupStats
 from ..core.setup import build_two_clique_list
@@ -263,6 +264,15 @@ class WindowedSearchStage:
     def run(self, ctx: ExecutionContext) -> None:
         config, heuristic = ctx.config, ctx.heuristic
         if config.window_fanout > 1:
+            if ctx.checkpoint is not None or ctx.checkpoint_sink is not None:
+                from ..errors import CheckpointError
+
+                # concurrent windows interleave their ω̄ updates; a
+                # last-completed-window checkpoint has no meaning there
+                raise CheckpointError(
+                    "checkpoint/resume requires window_fanout == 1 "
+                    "(the concurrent-windows sweep is not resumable)"
+                )
             from ..core.concurrent import concurrent_windowed_search
             from ..core.windowed import auto_window_size
 
@@ -284,21 +294,40 @@ class WindowedSearchStage:
             )
         else:
             from ..core.windowed import windowed_search
+            from ..errors import DeviceLostError
 
-            outcome = windowed_search(
-                ctx.graph,
-                ctx.src,
-                ctx.dst,
-                ctx.omega_bar,
-                heuristic.clique,
-                ctx.device,
-                window_size=config.window_size,
-                window_order=config.window_order,
-                chunk_pairs=config.chunk_pairs,
-                early_exit_heuristic=config.early_exit_heuristic,
-                deadline=ctx.deadline,
-                adaptive=config.adaptive_windowing,
-            )
+            sink = self._stamped_sink(ctx)
+            if ctx.checkpoint is not None:
+                ctx.checkpoint.validate_for(
+                    ctx.graph.fingerprint(), _config_fingerprint(ctx.config)
+                )
+                ctx.tracer.counter("search.checkpoint.resumed")
+            try:
+                outcome = windowed_search(
+                    ctx.graph,
+                    ctx.src,
+                    ctx.dst,
+                    ctx.omega_bar,
+                    heuristic.clique,
+                    ctx.device,
+                    window_size=config.window_size,
+                    window_order=config.window_order,
+                    chunk_pairs=config.chunk_pairs,
+                    early_exit_heuristic=config.early_exit_heuristic,
+                    deadline=ctx.deadline,
+                    adaptive=config.adaptive_windowing,
+                    checkpoint=ctx.checkpoint,
+                    checkpoint_sink=sink,
+                )
+            except DeviceLostError as exc:
+                # stamp the escaping checkpoint so the service (or a
+                # --checkpoint file) can verify identity on resume
+                if exc.checkpoint is not None:
+                    exc.checkpoint.graph_fingerprint = ctx.graph.fingerprint()
+                    exc.checkpoint.config_fingerprint = _config_fingerprint(
+                        ctx.config
+                    )
+                raise
         # the windows carried ω̄ forward internally; persist the final
         # (possibly raised) bound in the context
         ctx.omega_bar = max(ctx.omega_bar, int(outcome.omega))
@@ -321,6 +350,27 @@ class WindowedSearchStage:
             pruned=outcome.candidates_pruned + ctx.setup_stats.pruned_2cliques,
             search_mem=outcome.peak_window_bytes,
         )
+
+    @staticmethod
+    def _stamped_sink(ctx: ExecutionContext):
+        """Wrap the context's sink to stamp graph/config fingerprints.
+
+        The core search layer has no notion of fingerprints; every
+        checkpoint that leaves the pipeline carries them so resume can
+        verify identity.
+        """
+        if ctx.checkpoint_sink is None:
+            return None
+        gfp = ctx.graph.fingerprint()
+        cfp = _config_fingerprint(ctx.config)
+        user_sink = ctx.checkpoint_sink
+
+        def sink(ckpt) -> None:
+            ckpt.graph_fingerprint = gfp
+            ckpt.config_fingerprint = cfp
+            user_sink(ckpt)
+
+        return sink
 
 
 def build_result(

@@ -28,7 +28,7 @@ from .cache import ResultCache, config_fingerprint, request_key
 from .jobs import load_jobs, parse_jobs, resolve_graph
 from .policy import DegradationPolicy
 from .request import JobRecord, SolveRequest
-from .scheduler import DevicePool, Scheduler, expected_cost
+from .scheduler import DeviceHealth, DevicePool, Scheduler, expected_cost
 from .service import ServiceSummary, SolveService
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "JobRecord",
     "Scheduler",
     "DevicePool",
+    "DeviceHealth",
     "expected_cost",
     "ResultCache",
     "config_fingerprint",

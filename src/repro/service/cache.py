@@ -18,33 +18,16 @@ docs/OBSERVABILITY.md).
 
 from __future__ import annotations
 
-import enum
 from collections import OrderedDict
-from dataclasses import fields
 from typing import Optional, Tuple
 
-from ..core.config import SolverConfig
+# config_fingerprint moved to core.config (checkpoints stamp it too);
+# re-exported here for backwards compatibility
+from ..core.config import SolverConfig, config_fingerprint
 from ..graph.csr import CSRGraph
 from ..trace import NULL_TRACER, Tracer
 
 __all__ = ["ResultCache", "config_fingerprint", "request_key"]
-
-#: config fields that cannot change the solve's *result*, only how
-#: long the host takes to produce it -- excluded from the cache key
-_HOST_ONLY_FIELDS = frozenset({"chunk_pairs", "time_limit_s"})
-
-
-def config_fingerprint(config: SolverConfig) -> str:
-    """Canonical string of the result-relevant config fields."""
-    parts = []
-    for f in sorted(fields(config), key=lambda f: f.name):
-        if f.name in _HOST_ONLY_FIELDS:
-            continue
-        value = getattr(config, f.name)
-        if isinstance(value, enum.Enum):
-            value = value.value
-        parts.append(f"{f.name}={value!r}")
-    return ";".join(parts)
 
 
 def request_key(graph: CSRGraph, config: SolverConfig) -> Tuple[str, str]:

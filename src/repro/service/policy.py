@@ -27,6 +27,16 @@ Every retry re-runs the whole pipeline on the same device; the service
 accounts the failed attempts' model time to the job and marks the
 record ``degraded`` whenever the executed config no longer enumerates
 everything the requested config asked for.
+
+*Transient* device faults (:class:`~repro.errors.TransientDeviceError`:
+injected kernel/alloc glitches) are deliberately **not** ladder rungs:
+degrading the configuration in response to a fault that retrying
+survives would change the answer for no reason. The service retries
+the *same* configuration on the same device, bounded by
+``max_transient_retries``. Device loss
+(:class:`~repro.errors.DeviceLostError`) migrates the job to a healthy
+device instead, bounded by ``max_migrations`` -- again with the same
+configuration, resuming from the last checkpoint when one exists.
 """
 
 from __future__ import annotations
@@ -46,18 +56,38 @@ class DegradationPolicy:
     Parameters
     ----------
     max_attempts:
-        Total attempts allowed per job, the first launch included.
+        Ladder attempts allowed per job (launches that end in
+        OOM/timeout, the first launch included). Transient-fault
+        retries and migrations are budgeted separately -- they never
+        consume ladder attempts.
     min_window:
         Smallest window the OOM ladder will shrink to.
+    max_transient_retries:
+        Same-config retries allowed per job in response to transient
+        device faults (injected kernel/alloc glitches).
+    max_migrations:
+        Device migrations allowed per job in response to device loss.
     """
 
-    def __init__(self, max_attempts: int = 3, min_window: int = 64) -> None:
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        min_window: int = 64,
+        max_transient_retries: int = 3,
+        max_migrations: int = 2,
+    ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if min_window < 1:
             raise ValueError("min_window must be at least 1")
+        if max_transient_retries < 0:
+            raise ValueError("max_transient_retries must be non-negative")
+        if max_migrations < 0:
+            raise ValueError("max_migrations must be non-negative")
         self.max_attempts = max_attempts
         self.min_window = min_window
+        self.max_transient_retries = max_transient_retries
+        self.max_migrations = max_migrations
 
     def next_config(
         self, config: SolverConfig, error: BaseException

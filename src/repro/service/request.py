@@ -85,6 +85,10 @@ class JobRecord:
     admission: str = ""  # "full" | "windowed" | "reject" | "cache"
     admission_reason: str = ""
     degraded: bool = False
+    #: same-config retries after transient device faults
+    transient_retries: int = 0
+    #: device migrations after device loss (final device in ``device``)
+    migrations: int = 0
     device: Optional[int] = None
     model_time_s: float = 0.0
     wall_time_s: float = 0.0
@@ -111,6 +115,8 @@ class JobRecord:
             "admission": self.admission,
             "admission_reason": self.admission_reason,
             "degraded": self.degraded,
+            "transient_retries": self.transient_retries,
+            "migrations": self.migrations,
             "device": self.device,
             "model_time_s": self.model_time_s,
             "wall_time_s": self.wall_time_s,

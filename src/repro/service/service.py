@@ -31,7 +31,13 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.config import SolverConfig
 from ..core.solver import MaxCliqueSolver
-from ..errors import DeviceOOMError, SolveTimeoutError
+from ..errors import (
+    DeviceLostError,
+    DeviceOOMError,
+    FlakyAllocError,
+    SolveTimeoutError,
+    TransientDeviceError,
+)
 from ..graph.csr import CSRGraph
 from ..gpusim.spec import DeviceSpec
 from ..log import get_logger
@@ -63,6 +69,9 @@ class ServiceSummary:
     failed: int
     cache_hits: int
     attempts: int
+    transient_retries: int  #: same-config retries after transient faults
+    migrations: int  #: device migrations after device loss
+    device_faults: int  #: faults accounted across the pool's breakers
     model_time_s: float  #: device model time charged across all jobs
     makespan_model_s: float  #: busiest device's clock (pool completion)
     wall_time_s: float  #: host wall time spent inside run()
@@ -76,6 +85,9 @@ class ServiceSummary:
             "failed": self.failed,
             "cache_hits": self.cache_hits,
             "attempts": self.attempts,
+            "transient_retries": self.transient_retries,
+            "migrations": self.migrations,
+            "device_faults": self.device_faults,
             "model_time_s": self.model_time_s,
             "makespan_model_s": self.makespan_model_s,
             "wall_time_s": self.wall_time_s,
@@ -110,6 +122,14 @@ class SolveService:
         Test/fault-injection hook called as ``hook(request, attempt,
         config)`` immediately before each launch; an exception it
         raises is handled exactly like a solver failure.
+    fault_plan:
+        A :class:`~repro.gpusim.faults.FaultPlan` whose injectors are
+        installed on the pool's devices (``repro batch --fault-plan``).
+        The service absorbs the injected faults: transient faults
+        retry the same configuration on the same device, device loss
+        quarantines the device and migrates the job (resuming from its
+        latest checkpoint) -- results are identical to a fault-free
+        run, only the fault/retry/migration accounting differs.
     """
 
     def __init__(
@@ -126,8 +146,11 @@ class SolveService:
         fault_hook: Optional[
             Callable[[SolveRequest, int, SolverConfig], None]
         ] = None,
+        fault_plan=None,
     ) -> None:
         self.pool = DevicePool(devices, spec)
+        if fault_plan is not None:
+            self.pool.install_fault_plan(fault_plan)
         self.scheduler = Scheduler(policy)
         self.tracer = tracer
         self.cache = ResultCache(cache_size, tracer=tracer)
@@ -227,6 +250,9 @@ class SolveService:
             failed=sum(1 for r in recs if r.status == STATUS_FAILED),
             cache_hits=sum(1 for r in recs if r.cache_hit),
             attempts=sum(r.attempts for r in recs),
+            transient_retries=sum(r.transient_retries for r in recs),
+            migrations=sum(r.migrations for r in recs),
+            device_faults=sum(h.total_faults for h in self.pool.health),
             model_time_s=sum(r.model_time_s for r in recs),
             makespan_model_s=self.pool.makespan_model_s,
             wall_time_s=self._run_wall_s,
@@ -277,16 +303,24 @@ class SolveService:
         with self.tracer.span(
             "service.job",
             category="service",
-            model_clock=lambda: device.model_time_s,
+            model_clock=lambda: self.pool.devices[
+                record.device if record.device is not None else dev_index
+            ].model_time_s,
             job_id=request.job_id,
             device=dev_index,
             admission=decision.decision,
         ):
-            self._attempt_ladder(request, config, device, record)
+            self._attempt_ladder(request, config, device, dev_index, record)
         record.wall_time_s = time.perf_counter() - w0
         if record.status == STATUS_OK:
             self.tracer.counter("service.jobs.ok")
-            self.cache.put(key, record)
+            # degraded records are NOT cached: they carry the executed
+            # (degraded) answer but would be keyed under the *requested*
+            # config, poisoning identical future requests that might
+            # well succeed un-degraded (e.g. after cache churn frees
+            # memory or the ladder's first rung was a fluke)
+            if not record.degraded:
+                self.cache.put(key, record)
         else:
             self.tracer.counter("service.jobs.failed")
         return record
@@ -296,32 +330,140 @@ class SolveService:
         request: SolveRequest,
         config: SolverConfig,
         device,
+        dev_index: int,
         record: JobRecord,
     ) -> None:
-        """Run attempts down the degradation ladder, filling ``record``."""
+        """Run attempts until success or every budget is exhausted.
+
+        Three separate failure budgets apply, filling ``record``:
+
+        * OOM/timeout walk the degradation ladder
+          (``degradation.max_attempts`` launches, possibly changed
+          config each rung -- any pending checkpoint is dropped, its
+          window layout belongs to the old config);
+        * transient device faults retry the *same* config on the same
+          device (``degradation.max_transient_retries``), resuming a
+          windowed search from its last completed window;
+        * device loss quarantines the device and migrates the job to
+          the healthiest eligible device
+          (``degradation.max_migrations``), resuming from the
+          checkpoint the dying solve carried out.
+        """
+        ladder_attempts = 0
+        checkpoint = None  # resume point for the next launch
+        latest = [None]  # newest completed-window checkpoint (sink cell)
+
         while True:
             record.attempts += 1
             m0 = device.model_time_s
+            # capture resumable state only where resume is possible:
+            # sequential windowed sweeps
+            if config.windowed and config.window_fanout == 1:
+                sink = lambda ckpt: latest.__setitem__(0, ckpt)  # noqa: E731
+            else:
+                sink = None
             try:
                 if self.fault_hook is not None:
                     self.fault_hook(request, record.attempts, config)
                 result = MaxCliqueSolver(
-                    request.graph, config, device, tracer=self.tracer
+                    request.graph,
+                    config,
+                    device,
+                    tracer=self.tracer,
+                    checkpoint=checkpoint,
+                    checkpoint_sink=sink,
                 ).solve()
+            except TransientDeviceError as exc:
+                record.model_time_s += device.model_time_s - m0
+                record.error = f"{type(exc).__name__}: {exc}"
+                kind = (
+                    "flaky_alloc"
+                    if isinstance(exc, FlakyAllocError)
+                    else "transient_kernel"
+                )
+                self.tracer.counter(f"service.faults.{kind}")
+                self.tracer.counter(f"device.{dev_index}.faults.{kind}")
+                self.pool.note_fault(dev_index, exc)
+                if record.transient_retries >= self.degradation.max_transient_retries:
+                    log.debug(
+                        "job %s: transient-retry budget exhausted", request.job_id
+                    )
+                    return
+                record.transient_retries += 1
+                self.tracer.counter("service.retries.transient")
+                device.pool.reset_peak()
+                checkpoint = latest[0]
+                if checkpoint is not None:
+                    self.tracer.counter("service.checkpoint.resumes")
+                log.debug(
+                    "job %s attempt %d: %s; retrying same config%s",
+                    request.job_id,
+                    record.attempts,
+                    type(exc).__name__,
+                    " from checkpoint" if checkpoint is not None else "",
+                )
+                continue
+            except DeviceLostError as exc:
+                record.model_time_s += device.model_time_s - m0
+                record.error = f"{type(exc).__name__}: {exc}"
+                self.tracer.counter("service.faults.device_lost")
+                self.tracer.counter(f"device.{dev_index}.faults.device_lost")
+                self.pool.note_fault(dev_index, exc)
+                if record.migrations >= self.degradation.max_migrations:
+                    log.debug(
+                        "job %s: migration budget exhausted", request.job_id
+                    )
+                    return
+                checkpoint = exc.checkpoint if exc.checkpoint is not None else latest[0]
+                lost_index = dev_index
+                dev_index, device = self.pool.least_loaded()
+                self.pool.note_dispatch(dev_index)
+                record.migrations += 1
+                record.device = dev_index
+                self.tracer.counter("service.migrations")
+                with self.tracer.span(
+                    "service.migrations",
+                    category="service",
+                    model_clock=lambda: device.model_time_s,
+                    job_id=request.job_id,
+                    from_device=lost_index,
+                    to_device=dev_index,
+                    resumed_from_checkpoint=checkpoint is not None,
+                ):
+                    pass
+                if checkpoint is not None:
+                    self.tracer.counter("service.checkpoint.resumes")
+                log.debug(
+                    "job %s: device %d lost, migrating to device %d%s",
+                    request.job_id,
+                    lost_index,
+                    dev_index,
+                    " (resuming from checkpoint)" if checkpoint is not None else "",
+                )
+                continue
             except (DeviceOOMError, SolveTimeoutError) as exc:
                 record.model_time_s += device.model_time_s - m0
                 record.error = f"{type(exc).__name__}: {exc}"
+                # the device itself functioned correctly: OOM/timeout are
+                # workload outcomes, not device faults
+                self.pool.note_success(dev_index)
+                device.pool.reset_peak()
                 log.debug(
                     "job %s attempt %d failed (%s)",
                     request.job_id, record.attempts, type(exc).__name__,
                 )
-                if record.attempts >= self.degradation.max_attempts:
+                ladder_attempts += 1
+                if ladder_attempts >= self.degradation.max_attempts:
                     return
                 next_config = self.degradation.next_config(config, exc)
                 if next_config is None:
                     return
                 self.tracer.counter("service.retries")
                 config = next_config
+                # a checkpoint's window ranges index the *old* config's
+                # ordered 2-clique list: useless under the new rung
+                checkpoint = None
+                latest[0] = None
                 record.degraded = True
                 continue
             record.model_time_s += device.model_time_s - m0
@@ -337,6 +479,7 @@ class SolveService:
             )
             record.stage_model_times = dict(result.stage_times)
             record.result = result
+            self.pool.note_success(dev_index)
             return
 
     @staticmethod

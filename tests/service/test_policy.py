@@ -92,3 +92,50 @@ class TestPolicyEdges:
             DegradationPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             DegradationPolicy(min_window=0)
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_transient_retries=-1)
+        with pytest.raises(ValueError):
+            DegradationPolicy(max_migrations=-1)
+
+    def test_at_min_window_without_adaptive_gains_adaptive(self, policy):
+        # exactly at the floor but not yet adaptive: one more rung
+        # exists (same window, adaptive splitting turned on)
+        cfg = SolverConfig(window_size=64)
+        nxt = policy.next_config(cfg, OOM)
+        assert nxt is not None
+        assert nxt.window_size == policy.min_window
+        assert nxt.adaptive_windowing
+
+    def test_below_min_window_adaptive_exhausts(self, policy):
+        cfg = SolverConfig(window_size=32, adaptive_windowing=True)
+        assert policy.next_config(cfg, OOM) is None
+
+    def test_below_min_window_never_grows(self, policy):
+        # a sub-floor window without adaptive gains adaptive but must
+        # not be grown back up past what the caller asked for
+        cfg = SolverConfig(window_size=32)
+        nxt = policy.next_config(cfg, OOM)
+        assert nxt is not None
+        assert nxt.window_size <= policy.min_window
+        assert nxt.adaptive_windowing
+
+    def test_transient_errors_are_not_ladder_rungs(self, policy):
+        from repro.errors import (
+            DeviceLostError,
+            FlakyAllocError,
+            TransientKernelError,
+        )
+
+        # transient faults and device loss must never change the
+        # config: the service retries/migrates with the same one
+        for error in (
+            TransientKernelError("glitch"),
+            FlakyAllocError("glitch"),
+            DeviceLostError(),
+        ):
+            assert policy.next_config(SolverConfig(), error) is None
+
+    def test_transient_budgets_default_sane(self):
+        policy = DegradationPolicy()
+        assert policy.max_transient_retries >= 1
+        assert policy.max_migrations >= 1

@@ -243,6 +243,102 @@ class TestPoolScheduling:
         assert spans[0].attrs["admission"] == "full"
 
 
+class TestCacheHygiene:
+    def test_degraded_record_not_cached(self, community):
+        """A degraded answer must not be served for the pristine key."""
+
+        def fail_first(request, attempt, config):
+            if request.job_id == "job-0" and attempt == 1:
+                raise DeviceOOMError(requested=MIB, in_use=0, budget=MIB)
+
+        service = SolveService(fault_hook=fail_first)
+        degraded = service.solve(community)
+        assert degraded.status == "ok" and degraded.degraded
+
+        # identical request again: the degraded record must NOT answer it
+        service.fault_hook = None
+        clean = service.solve(community)
+        assert clean.cache_hit is False
+        assert not clean.degraded
+        assert clean.clique_number == degraded.clique_number
+
+        # the clean record IS cached for the third round
+        assert service.solve(community).cache_hit is True
+
+
+class TestDeviceHygiene:
+    def test_retry_starts_from_clean_device_state(self, monster):
+        """Each ladder attempt sees zero residual allocations and a
+        reset peak -- shared-device accounting must not leak across a
+        failed attempt."""
+        snapshots = []
+        service = SolveService(spec=DeviceSpec(memory_bytes=4 * MIB))
+        device = service.pool.devices[0]
+
+        def spy(request, attempt, config):
+            snapshots.append(
+                (attempt, device.pool.in_use_bytes, device.pool.peak_bytes)
+            )
+
+        service.fault_hook = spy
+        record = service.solve(
+            monster, SolverConfig(window_size=200000, enumerate_all=False)
+        )
+        assert record.status == "ok"
+        assert len(snapshots) >= 2  # a real OOM forced at least one retry
+        assert all(in_use == 0 for _, in_use, _ in snapshots)
+        assert all(peak == 0 for _, _, peak in snapshots)
+        # nothing leaked past the job either
+        assert device.pool.in_use_bytes == 0
+
+
+class TestLadderEdges:
+    def test_max_attempts_one_never_consults_ladder(self, community):
+        def explode(request, attempt, config):
+            raise DeviceOOMError(requested=MIB, in_use=0, budget=MIB)
+
+        tracer = JsonTracer()
+        service = SolveService(
+            fault_hook=explode, max_attempts=1, tracer=tracer
+        )
+
+        def forbidden(config, error):  # pragma: no cover - must not run
+            raise AssertionError("ladder consulted despite max_attempts=1")
+
+        service.degradation.next_config = forbidden
+        record = service.solve(community)
+        assert record.status == "failed"
+        assert record.attempts == 1
+        assert not record.degraded
+        assert "service.retries" not in tracer.counters
+
+    def test_adaptive_single_sublist_oom_is_terminal(self):
+        """Adaptive windowing splits down to single sublists; a sublist
+        whose own subtree exceeds the budget still OOMs, and the
+        service records a clean terminal failure (OOM is a workload
+        outcome, not a device fault)."""
+        dense = gen.planted_clique(300, 40, avg_degree=2.0, seed=5)
+        service = SolveService(spec=DeviceSpec(memory_bytes=2 * MIB))
+        record = service.solve(
+            dense,
+            SolverConfig(
+                window_size=32,
+                adaptive_windowing=True,
+                enumerate_all=False,
+                heuristic="none",
+            ),
+        )
+        assert record.status == "failed"
+        assert "DeviceOOMError" in record.error
+        # already at the ladder's bottom rung: one attempt, no retry
+        assert record.attempts == 1
+        # the breaker must not trip on OOM
+        assert service.pool.health[0].state == "healthy"
+        assert service.pool.health[0].total_faults == 0
+        # nothing leaked out of the failed job
+        assert service.pool.devices[0].pool.in_use_bytes == 0
+
+
 class TestTimeout:
     def test_default_timeout_applies(self, monster):
         service = SolveService(
