@@ -306,6 +306,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout,
         tracer=tracer,
         fault_plan=fault_plan,
+        executor=args.executor,
+        workers=args.workers,
     )
     for request in requests:
         service.submit(request)
@@ -483,6 +485,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_batch.add_argument(
         "--max-attempts", type=int, default=3,
         help="attempts per job along the degradation ladder (default 3)",
+    )
+    p_batch.add_argument(
+        "--executor", default="serial", choices=["serial", "threaded"],
+        help="batch executor: one job at a time, or host threads "
+        "overlapping jobs across the device pool (byte-identical "
+        "records; lower wall-clock on multi-core hosts)",
+    )
+    p_batch.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for --executor threaded "
+        "(default: one per device; clamped to the pool size)",
     )
     p_batch.add_argument(
         "--fault-plan", metavar="PATH", default=None,

@@ -13,6 +13,7 @@ from .config import (
     WindowOrder,
     config_fingerprint,
 )
+from .deadline import Deadline, as_deadline
 from .heuristics import multi_run_greedy, run_heuristic, single_run_greedy
 from .result import (
     HeuristicReport,
@@ -49,6 +50,8 @@ __all__ = [
     "auto_window_size",
     "SearchCheckpoint",
     "load_checkpoint",
+    "Deadline",
+    "as_deadline",
     "config_fingerprint",
     "run_heuristic",
     "single_run_greedy",

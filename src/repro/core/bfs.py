@@ -1,80 +1,43 @@
 """Breadth-first maximum clique search (paper Section IV-D, Algorithm 2).
 
-Each iteration expands *every* candidate of the current level at once:
+This module is the public entry point of the *full* breadth-first
+enumeration; the level loop itself lives in
+:class:`repro.engine.driver.LevelDriver` (shared with the windowed and
+concurrent searches -- see docs/ARCHITECTURE.md). ``bfs_search``
+configures the driver on the isolated launch schedule: one search,
+every kernel charged for it alone, exactly the schedule the paper's
+Algorithm 2 describes.
 
-1. **CountCliques** -- one thread per candidate vertex checks the
-   connectivity of each vertex after it in its sublist (a binary
-   search per check) and tallies successful lookups; a new sublist
-   whose count cannot reach ω̄ (``count + k < ω̄``) is zeroed.
-2. **Scan** -- an exclusive scan over counts yields output offsets and
-   the size of the next clique-list node.
-3. **OutputNewCliques** -- one thread per candidate re-walks its
-   sublist tail and writes the surviving vertices, with ``sublistID``
-   pointing at the thread's own entry (the shared parent).
-
-The loop ends when no new cliques are generated; every entry of the
-deepest node is then a maximum clique (pruning only ever removes
-branches that cannot reach ω̄ <= ω, and sublist-order expansion emits
-each clique exactly once).
-
-Host-side vectorisation note: the per-thread inner loops are
-materialised as flat pair arrays in chunks of ``chunk_pairs`` to bound
-host memory; chunking affects wall time only. Model time charges each
-thread ``tail_length * binary_search_cost + 1`` ops for the count pass
-and the same again for the output pass, exactly the two passes the
-kernels make.
+The historical underscore helpers (``_chunk_slices``,
+``_expand_pairs``, ``_count_pass``, ``_output_pass``) moved to
+:mod:`repro.engine.passes`; they are re-exported here under their old
+names for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Optional, Union
 
 import numpy as np
 
-from ..errors import SolveTimeoutError
-from ..gpusim import primitives as P
+from ..engine.driver import BFSOutcome, LevelDriver
+from ..engine.passes import (
+    chunk_slices as _chunk_slices,
+    count_pass as _count_pass,
+    expand_pairs as _expand_pairs,
+    output_pass as _output_pass,
+)
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
-from .clique_list import CliqueList
-from .result import LevelStats
+from .deadline import Deadline, as_deadline
 
 __all__ = ["BFSOutcome", "bfs_search"]
 
-
-@dataclass
-class BFSOutcome:
-    """Result of one breadth-first search over a (windowed) root.
-
-    Attributes
-    ----------
-    clique_list:
-        The populated clique list; the head node's entries are the
-        deepest cliques found.
-    omega:
-        Size of the largest clique discovered by this search (the head
-        node's level), or 0 when the root was empty.
-    levels:
-        Per-level candidate statistics.
-    stopped_by_heuristic:
-        True when the early exit fired: every surviving branch was
-        capped at exactly ω̄, so the heuristic clique is a maximum
-        clique and ω = ω̄ (the sound form of Algorithm 2 line 36).
-    """
-
-    clique_list: CliqueList
-    omega: int
-    levels: List[LevelStats] = field(default_factory=list)
-    stopped_by_heuristic: bool = False
-
-    @property
-    def candidates_stored(self) -> int:
-        return self.clique_list.total_candidates
-
-    @property
-    def candidates_pruned(self) -> int:
-        return sum(s.pruned for s in self.levels)
+# re-exported for callers that used the historical private names
+_chunk_slices = _chunk_slices
+_expand_pairs = _expand_pairs
+_count_pass = _count_pass
+_output_pass = _output_pass
 
 
 def bfs_search(
@@ -85,7 +48,7 @@ def bfs_search(
     device: Device,
     chunk_pairs: int = 1 << 22,
     early_exit_heuristic: bool = False,
-    deadline: Optional[float] = None,
+    deadline: Union[None, float, Deadline] = None,
 ) -> BFSOutcome:
     """Run Algorithm 2 from a prepared 2-clique list.
 
@@ -108,198 +71,23 @@ def bfs_search(
         paper's literal condition (candidate count collapses to
         ``ω̄ - k + 1``) is unsound -- a single surviving chain can
         still extend past ω̄ when the heuristic undershot (our
-        property tests found concrete counterexamples) -- so this
-        implements the sound variant: stop once **every** surviving
-        branch satisfies ``count + k == ω̄``, at which point no branch
-        can beat the heuristic clique and ω = ω̄. Only meaningful when
-        a single maximum clique is wanted.
+        property tests found concrete counterexamples) -- so the
+        driver implements the sound variant: stop once **every**
+        surviving branch satisfies ``count + k == ω̄``, at which point
+        no branch can beat the heuristic clique and ω = ω̄. Only
+        meaningful when a single maximum clique is wanted.
     deadline:
-        Absolute ``time.perf_counter()`` instant after which the
-        search raises :class:`~repro.errors.SolveTimeoutError`
-        (checked once per level).
+        Absolute ``time.perf_counter()`` instant (or a
+        :class:`~repro.core.deadline.Deadline`) after which the search
+        raises :class:`~repro.errors.SolveTimeoutError` (checked once
+        per level).
     """
-    clique_list = CliqueList(device)
-    levels: List[LevelStats] = []
-    if src.size == 0:
-        return BFSOutcome(clique_list=clique_list, omega=0, levels=levels)
-    try:
-        return _bfs_loop(
-            graph, src, dst, omega_bar, device, clique_list, levels,
-            chunk_pairs, early_exit_heuristic, deadline,
-        )
-    except BaseException:
-        # OOM/timeout mid-search: release the partial clique list so
-        # retries (adaptive windowing) see the true free budget
-        clique_list.free_all()
-        raise
-
-
-def _bfs_loop(
-    graph: CSRGraph,
-    src: np.ndarray,
-    dst: np.ndarray,
-    omega_bar: int,
-    device: Device,
-    clique_list: CliqueList,
-    levels: List[LevelStats],
-    chunk_pairs: int,
-    early_exit_heuristic: bool,
-    deadline: Optional[float],
-) -> BFSOutcome:
-    clique_list.append_root(src, dst)
-    lookup_cost = graph.lookup_cost
-
-    while True:
-        if deadline is not None and time.perf_counter() > deadline:
-            raise SolveTimeoutError(
-                f"breadth-first search exceeded its wall-time limit at "
-                f"level {clique_list.depth}"
-            )
-        node = clique_list.head
-        k = node.level
-        vertex = node.vertex.a
-        sublist = node.sublist.a
-        n_threads = vertex.size
-        levels.append(
-            LevelStats(level=k, candidates=n_threads, generated=0, pruned=0)
-        )
-
-        # tail length of each thread within its sublist
-        bounds = P.run_boundaries(device, sublist)
-        ends = np.repeat(bounds[1:], np.diff(bounds))
-        tail = ends - np.arange(n_threads, dtype=np.int64) - 1
-
-        # CountCliques: per-thread cost = tail * binary-search + 1
-        thread_cost = tail.astype(np.float64) * lookup_cost[vertex] + 1.0
-        device.launch(thread_cost, name="count_cliques")
-        counts = _count_pass(graph, vertex, tail, chunk_pairs)
-
-        # prune new sublists that cannot reach omega_bar
-        generated = int(counts.sum())
-        if omega_bar > 0:
-            prune_mask = (counts + k) < omega_bar
-            pruned = int(counts[prune_mask].sum())
-            counts[prune_mask] = 0
-        else:
-            pruned = 0
-        levels[-1].generated = generated
-        levels[-1].pruned = pruned
-
-        if (
-            early_exit_heuristic
-            and omega_bar >= 2
-            and counts.size
-            and counts.max() + k <= omega_bar
-        ):
-            # Sound form of Algorithm 2 line 36: every surviving branch
-            # has count + k == omega_bar exactly (smaller ones were
-            # pruned), so no branch can beat the heuristic clique --
-            # omega equals omega_bar and the heuristic clique is a
-            # maximum clique. Stop before allocating the next node.
-            return BFSOutcome(
-                clique_list=clique_list,
-                omega=omega_bar,
-                levels=levels,
-                stopped_by_heuristic=True,
-            )
-
-        offsets, total_new = P.exclusive_scan(device, counts)
-        if total_new == 0:
-            return BFSOutcome(clique_list=clique_list, omega=k, levels=levels)
-
-        # allocate the next node now (the real implementation's
-        # cudaMalloc happens here and is where OOM strikes), then run
-        # OutputNewCliques into it
-        new_node = clique_list.append_level(
-            np.empty(total_new, dtype=np.int32),
-            np.empty(total_new, dtype=np.int32),
-        )
-        device.launch(thread_cost + 1.0, name="output_new_cliques")
-        _output_pass(
-            graph, vertex, tail, counts, offsets,
-            new_node.vertex.a, new_node.sublist.a, chunk_pairs,
-        )
-
-
-
-def _chunk_slices(tail: np.ndarray, chunk_pairs: int):
-    """Split thread ranges so each slice covers <= chunk_pairs pairs."""
-    csum = np.cumsum(tail)
-    total = int(csum[-1]) if csum.size else 0
-    if total == 0:
-        return
-    start = 0
-    n = tail.size
-    while start < n:
-        base = int(csum[start - 1]) if start else 0
-        # furthest thread whose cumulative pair count stays in budget
-        stop = int(np.searchsorted(csum, base + chunk_pairs, side="right"))
-        if stop <= start:  # single thread exceeding the budget: take it alone
-            stop = start + 1
-        yield start, stop
-        start = stop
-
-
-def _expand_pairs(tail_slice: np.ndarray, start: int):
-    """Flat (idx1, idx2) pair arrays for threads [start, start+len)."""
-    total = int(tail_slice.sum())
-    reps = tail_slice.astype(np.int64)
-    idx1 = start + np.repeat(np.arange(tail_slice.size, dtype=np.int64), reps)
-    ends = np.cumsum(reps)
-    starts = ends - reps
-    within = np.arange(total, dtype=np.int64) - np.repeat(starts, reps)
-    idx2 = idx1 + 1 + within
-    return idx1, idx2
-
-
-def _count_pass(
-    graph: CSRGraph, vertex: np.ndarray, tail: np.ndarray, chunk_pairs: int
-) -> np.ndarray:
-    """Per-thread successful-lookup counts (CountCliques)."""
-    n = tail.size
-    counts = np.zeros(n, dtype=np.int64)
-    for start, stop in _chunk_slices(tail, chunk_pairs):
-        idx1, idx2 = _expand_pairs(tail[start:stop], start)
-        found = graph.batch_has_edge(vertex[idx1], vertex[idx2])
-        if found.any():
-            counts[start:stop] += np.bincount(
-                idx1[found] - start, minlength=stop - start
-            )
-    return counts
-
-
-def _output_pass(
-    graph: CSRGraph,
-    vertex: np.ndarray,
-    tail: np.ndarray,
-    counts: np.ndarray,
-    offsets: np.ndarray,
-    new_vertex: np.ndarray,
-    new_sublist: np.ndarray,
-    chunk_pairs: int,
-) -> None:
-    """Write surviving candidates into the new node (OutputNewCliques)."""
-    live = counts > 0
-    for start, stop in _chunk_slices(tail, chunk_pairs):
-        idx1, idx2 = _expand_pairs(tail[start:stop], start)
-        # pruned threads (count zeroed) write nothing
-        keep = live[idx1]
-        idx1, idx2 = idx1[keep], idx2[keep]
-        if idx1.size == 0:
-            continue
-        found = graph.batch_has_edge(vertex[idx1], vertex[idx2])
-        f1 = idx1[found]
-        f2 = idx2[found]
-        # output position: thread offset + rank among the thread's hits
-        # (f1 is non-decreasing, so ranks come from run starts)
-        if f1.size:
-            run_start = np.flatnonzero(
-                np.concatenate(([True], f1[1:] != f1[:-1]))
-            )
-            run_len = np.diff(np.concatenate([run_start, [f1.size]]))
-            rank = np.arange(f1.size, dtype=np.int64) - np.repeat(
-                run_start, run_len
-            )
-            pos = offsets[f1] + rank
-            new_vertex[pos] = vertex[f2]
-            new_sublist[pos] = f1.astype(np.int32)
+    driver = LevelDriver(
+        graph,
+        device,
+        chunk_pairs=chunk_pairs,
+        deadline=as_deadline(deadline, "breadth-first search"),
+    )
+    return driver.run(
+        src, dst, omega_bar, early_exit_heuristic=early_exit_heuristic
+    )

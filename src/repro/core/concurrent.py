@@ -3,11 +3,14 @@
 The paper observes that windowing's runtime cost comes from running
 windows *sequentially*, and sketches the fix: "multiple windows could
 be explored simultaneously by different thread blocks in order to
-increase parallelism". This module implements that: ``fanout`` windows
-advance their breadth-first levels together, and each level's
-CountCliques / scan / OutputNewCliques work across the whole group is
-charged as *one* merged kernel launch -- shared launch overhead and
-higher occupancy, exactly the mechanism the paper predicts.
+increase parallelism". ``concurrent_windowed_search`` configures the
+shared :func:`repro.engine.sweep.window_sweep` at ``fanout > 1``:
+that many windows advance their breadth-first levels together on the
+*fused* launch schedule of
+:class:`repro.engine.driver.LevelDriver` -- each level's CountCliques
+/ scan / OutputNewCliques work across the whole group is charged as
+*one* merged kernel launch (shared launch overhead, higher occupancy,
+exactly the mechanism the paper predicts).
 
 The trade-offs the paper also predicts are preserved:
 
@@ -18,39 +21,25 @@ The trade-offs the paper also predicts are preserved:
   the lower bound from *group start*; improvements found inside a
   group only help later groups (same staleness as the GPU-DFS
   baseline, but at a far coarser granularity).
+
+``fanout=1`` degenerates to the literal sequential sweep: the same
+code path as :func:`repro.core.windowed.windowed_search`, isolated
+launches and all.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Union
 
 import numpy as np
 
-from ..errors import SolveTimeoutError
-from ..gpusim import primitives as P
+from ..engine.sweep import WindowedOutcome, window_sweep
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
-from .bfs import _chunk_slices, _count_pass, _output_pass
-from .clique_list import CliqueList
 from .config import WindowOrder
-from .result import LevelStats, WindowStats
-from .windowed import WindowedOutcome, _order_groups, split_windows
+from .deadline import Deadline
 
 __all__ = ["concurrent_windowed_search"]
-
-
-@dataclass
-class _WindowState:
-    """One in-flight window of a concurrent group."""
-
-    index: int
-    start: int
-    end: int
-    clique_list: CliqueList
-    done: bool = False
-    omega: int = 0
 
 
 def concurrent_windowed_search(
@@ -60,11 +49,11 @@ def concurrent_windowed_search(
     omega_bar: int,
     heuristic_clique: np.ndarray,
     device: Device,
-    window_size: int,
+    window_size: Union[int, str],
     fanout: int = 4,
     window_order: WindowOrder = WindowOrder.NATURAL,
     chunk_pairs: int = 1 << 22,
-    deadline: Optional[float] = None,
+    deadline: Union[None, float, Deadline] = None,
 ) -> WindowedOutcome:
     """Windowed search with ``fanout`` windows in flight at once.
 
@@ -75,151 +64,17 @@ def concurrent_windowed_search(
     """
     if fanout < 1:
         raise ValueError("fanout must be at least 1")
-    src, dst = _order_groups(src, dst, graph.degrees, window_order)
-
-    best_clique = np.asarray(heuristic_clique, dtype=np.int32)
-    best = int(best_clique.size) if best_clique.size else max(omega_bar, 0)
-    outcome = WindowedOutcome(best_clique=best_clique, omega=best)
-
-    windows = split_windows(src, window_size)
-    for g_start in range(0, len(windows), fanout):
-        if deadline is not None and time.perf_counter() > deadline:
-            raise SolveTimeoutError(
-                f"concurrent windowed search exceeded its wall-time limit "
-                f"at window group {g_start // fanout}"
-            )
-        group = windows[g_start : g_start + fanout]
-        device.pool.reset_peak()
-        base = device.pool.in_use_bytes
-        bar = max(omega_bar, best)  # shared bound, fixed for the group
-        states = [
-            _WindowState(
-                index=g_start + i, start=a, end=b, clique_list=CliqueList(device)
-            )
-            for i, (a, b) in enumerate(group)
-        ]
-        try:
-            for st in states:
-                st.clique_list.append_root(src[st.start : st.end], dst[st.start : st.end])
-            _advance_group(
-                graph, states, bar, device, chunk_pairs, outcome, deadline
-            )
-            for st in states:
-                if st.omega > best and st.clique_list.nodes:
-                    best = st.omega
-                    best_clique = st.clique_list.read_cliques(limit=1)[0]
-                outcome.candidates_stored += st.clique_list.total_candidates
-            peak = device.pool.peak_bytes - base
-            outcome.peak_window_bytes = max(outcome.peak_window_bytes, peak)
-            for st in states:
-                outcome.windows.append(
-                    WindowStats(
-                        index=st.index,
-                        start=st.start,
-                        end=st.end,
-                        peak_bytes=peak,  # group-level peak (shared)
-                        best_clique_size=max(best, bar),
-                        levels=max(st.clique_list.depth - 1, 0),
-                    )
-                )
-        finally:
-            for st in states:
-                st.clique_list.free_all()
-
-    outcome.best_clique = np.asarray(best_clique, dtype=np.int32)
-    outcome.omega = best
-    return outcome
-
-
-def _advance_group(
-    graph: CSRGraph,
-    states: List[_WindowState],
-    bar: int,
-    device: Device,
-    chunk_pairs: int,
-    outcome: WindowedOutcome,
-    deadline: Optional[float],
-) -> None:
-    """Run all group members' BFS levels with merged kernel launches."""
-    lookup_cost = graph.lookup_cost
-    while True:
-        active = [st for st in states if not st.done]
-        if not active:
-            return
-        if deadline is not None and time.perf_counter() > deadline:
-            raise SolveTimeoutError(
-                "concurrent windowed search exceeded its wall-time limit"
-            )
-
-        # per-window tails; run-boundary work merged into one launch
-        tails = []
-        total_threads = 0
-        for st in active:
-            node = st.clique_list.head
-            sub = node.sublist.a
-            bounds = _run_boundaries_host(sub)
-            ends = np.repeat(bounds[1:], np.diff(bounds))
-            tail = ends - np.arange(sub.size, dtype=np.int64) - 1
-            tails.append(tail)
-            total_threads += sub.size
-        device.launch(1.0, n_threads=total_threads, name="run_boundaries")
-
-        # merged CountCliques launch: one cost array across the group
-        cost_arrays = [
-            tails[i].astype(np.float64)
-            * lookup_cost[active[i].clique_list.head.vertex.a]
-            + 1.0
-            for i in range(len(active))
-        ]
-        merged = np.concatenate(cost_arrays) if cost_arrays else np.zeros(0)
-        device.launch(merged, name="count_cliques")
-
-        # per-window counts, pruning, merged scan accounting
-        all_counts = []
-        for st, tail in zip(active, tails):
-            node = st.clique_list.head
-            k = node.level
-            counts = _count_pass(graph, node.vertex.a, tail, chunk_pairs)
-            generated = int(counts.sum())
-            prune_mask = (counts + k) < bar
-            pruned = int(counts[prune_mask].sum())
-            counts[prune_mask] = 0
-            outcome.levels.append(
-                LevelStats(
-                    level=k, candidates=node.size,
-                    generated=generated, pruned=pruned,
-                )
-            )
-            outcome.candidates_pruned += pruned
-            all_counts.append(counts)
-        device.launch(P.SCAN_OPS, n_threads=total_threads, name="exclusive_scan")
-
-        # merged OutputNewCliques launch, then per-window output passes
-        device.launch(merged + 1.0, name="output_new_cliques")
-        for st, tail, counts in zip(active, tails, all_counts):
-            node = st.clique_list.head
-            offsets = np.zeros(counts.size, dtype=np.int64)
-            if counts.size:
-                np.cumsum(counts[:-1], out=offsets[1:])
-            total_new = int(counts.sum())
-            if total_new == 0:
-                st.done = True
-                st.omega = node.level
-                continue
-            new_node = st.clique_list.append_level(
-                np.empty(total_new, dtype=np.int32),
-                np.empty(total_new, dtype=np.int32),
-            )
-            _output_pass(
-                graph, node.vertex.a, tail, counts, offsets,
-                new_node.vertex.a, new_node.sublist.a, chunk_pairs,
-            )
-
-
-def _run_boundaries_host(values: np.ndarray) -> np.ndarray:
-    """Run boundaries without device accounting (charged merged)."""
-    n = values.size
-    if n == 0:
-        return np.zeros(1, dtype=np.int64)
-    starts = np.flatnonzero(np.concatenate(([True], values[1:] != values[:-1])))
-    return np.concatenate([starts, [n]]).astype(np.int64)
+    return window_sweep(
+        graph,
+        src,
+        dst,
+        omega_bar,
+        heuristic_clique,
+        device,
+        window_size=window_size,
+        fanout=fanout,
+        window_order=window_order,
+        chunk_pairs=chunk_pairs,
+        deadline=deadline,
+        label="concurrent windowed search",
+    )

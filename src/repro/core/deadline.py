@@ -1,0 +1,91 @@
+"""Uniform wall-clock deadline handling for the search layer.
+
+Every search path used to carry its own ``time.perf_counter() >
+deadline`` comparison and hand-format its own
+:class:`~repro.errors.SolveTimeoutError` message. :class:`Deadline`
+centralises both: one construction point (`from_limit`), one check
+(:meth:`Deadline.check`), one message shape --
+``"{label} exceeded its wall-time limit at {point}"`` -- so timeout
+semantics cannot drift between the sequential, windowed, and
+concurrent searches again.
+
+A ``Deadline`` is cheap to pass around and never expires when built
+from ``None`` (no limit). The engine checks it once per breadth-first
+level and once per window, matching the granularity the paper's
+harness used to abandon pathological runs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from ..errors import SolveTimeoutError
+
+__all__ = ["Deadline", "as_deadline"]
+
+
+class Deadline:
+    """An absolute host wall-clock instant a search must not outlive.
+
+    Parameters
+    ----------
+    at:
+        Absolute ``time.perf_counter()`` instant, or ``None`` for no
+        limit (every check passes).
+    label:
+        Search description used in the timeout message (e.g.
+        ``"windowed search"``).
+    """
+
+    __slots__ = ("at", "label")
+
+    def __init__(self, at: Optional[float], label: str = "search") -> None:
+        self.at = at
+        self.label = label
+
+    @classmethod
+    def from_limit(
+        cls, limit_s: Optional[float], label: str = "search"
+    ) -> "Deadline":
+        """A deadline ``limit_s`` seconds from now (``None`` = no limit)."""
+        at = time.perf_counter() + limit_s if limit_s is not None else None
+        return cls(at, label)
+
+    def relabel(self, label: str) -> "Deadline":
+        """The same instant under a different search description."""
+        return Deadline(self.at, label)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the instant has passed (False when unlimited)."""
+        return self.at is not None and time.perf_counter() > self.at
+
+    def check(self, point: str) -> None:
+        """Raise :class:`~repro.errors.SolveTimeoutError` if expired.
+
+        ``point`` names where the search was when the limit struck
+        (``"level 4"``, ``"window 12"``); it completes the uniform
+        message ``"{label} exceeded its wall-time limit at {point}"``.
+        """
+        if self.expired:
+            raise SolveTimeoutError(
+                f"{self.label} exceeded its wall-time limit at {point}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(at={self.at!r}, label={self.label!r})"
+
+
+def as_deadline(
+    deadline: Union[None, float, Deadline], label: str
+) -> Deadline:
+    """Coerce the public API's float-or-Deadline argument.
+
+    The search entry points historically accepted a raw
+    ``time.perf_counter()`` float; both forms remain valid, and either
+    way the result carries ``label`` for the timeout message.
+    """
+    if isinstance(deadline, Deadline):
+        return deadline.relabel(label)
+    return Deadline(deadline, label)

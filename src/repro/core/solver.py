@@ -12,7 +12,9 @@ composable stages over one shared execution context (see
    and within-sublist ordering,
 5. ``bfs`` / ``windowed`` -- the breadth-first search: full
    (enumerating every maximum clique) or windowed (one maximum clique
-   under a memory budget).
+   under a memory budget). All three search flavours (full, windowed,
+   concurrent-fanout) are configurations of the single level loop in
+   :class:`repro.engine.driver.LevelDriver` (docs/ARCHITECTURE.md).
 
 Pass a recording tracer (:class:`repro.trace.JsonTracer`) to observe
 per-stage spans and per-kernel events; the default no-op tracer leaves

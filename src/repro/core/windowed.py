@@ -3,143 +3,45 @@
 When the full breadth-first candidate set cannot fit in device memory,
 the 2-clique list is split into *windows* and the breadth-first search
 runs on one window at a time, solving for a single maximum clique
-rather than enumerating all of them. Window boundaries are snapped to
-sublist ends (a candidate needs every vertex after it in its sublist),
-the best clique found so far raises ω̄ for later windows, and each
-window's clique list is freed before the next begins -- peak memory is
-set by the largest single-window subtree instead of the whole search.
+rather than enumerating all of them. The sweep itself -- window
+splitting and ordering, the ω̄ carry, adaptive splitting,
+checkpoint/resume -- lives in :func:`repro.engine.sweep.window_sweep`
+(shared with the concurrent-fanout variant); ``windowed_search``
+configures it at ``fanout=1``, the paper's sequential sweep.
 
 The search order across windows is configurable (ascending /
 descending source degree, or the natural randomised order), matching
-the orderings compared in Section V-C1.
-
-As an extension, ``window_size="auto"`` derives a window length from
-the device budget and a Moon-Moser-style expansion estimate (the
-technique Wei et al. use to size subtrees; see DESIGN.md section 5).
+the orderings compared in Section V-C1. As an extension,
+``window_size="auto"`` derives a window length from the device budget
+and a Moon-Moser-style expansion estimate (the technique Wei et al.
+use to size subtrees; see DESIGN.md section 5).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
-from ..errors import DeviceLostError, DeviceOOMError, SolveTimeoutError
+from ..engine.sweep import (
+    WindowedOutcome,
+    auto_window_size,
+    order_groups as _order_groups,
+    split_range as _split_range,
+    split_windows,
+    window_sweep,
+)
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
-from .bfs import BFSOutcome, bfs_search
 from .checkpoint import SearchCheckpoint
 from .config import WindowOrder
-from .result import LevelStats, WindowStats
+from .deadline import Deadline
 
 __all__ = ["WindowedOutcome", "windowed_search", "auto_window_size", "split_windows"]
 
-
-@dataclass
-class WindowedOutcome:
-    """Result of a windowed search (one maximum clique)."""
-
-    best_clique: np.ndarray
-    omega: int
-    windows: List[WindowStats] = field(default_factory=list)
-    levels: List[LevelStats] = field(default_factory=list)
-    candidates_stored: int = 0
-    candidates_pruned: int = 0
-    peak_window_bytes: int = 0
-    stopped_by_heuristic: bool = False
-    adaptive_splits: int = 0
-
-
-def auto_window_size(
-    graph: CSRGraph, device: Device, num_two_cliques: int
-) -> int:
-    """Moon-Moser-guided window size (extension).
-
-    Bounds the candidates a window can generate by ``W * 3^(t/3)``
-    (Moon & Moser's maximal-clique bound applied to the average
-    sublist tail ``t``) and sizes ``W`` so that estimate fits in a
-    quarter of the free device budget.
-    """
-    budget = device.pool.budget_bytes
-    if budget is None:
-        return max(num_two_cliques, 1)
-    free = max(budget - device.pool.in_use_bytes, 1)
-    n = max(graph.num_vertices, 1)
-    avg_tail = max(num_two_cliques / n - 1.0, 0.0)
-    expansion = 3.0 ** (min(avg_tail, 48.0) / 3.0)
-    bytes_per_candidate = 8.0  # int32 vertexID + int32 sublistID
-    w = int(free / 4.0 / (bytes_per_candidate * expansion))
-    return int(np.clip(w, 256, 1 << 20))
-
-
-def split_windows(
-    sublist: np.ndarray, window_size: int
-) -> List[Tuple[int, int]]:
-    """Split a 2-clique list into windows snapped to sublist boundaries.
-
-    ``sublist`` is the root node's ``sublistID`` array (source
-    vertices); a boundary is any index where the value changes. Each
-    window ends at the boundary nearest its nominal end, always making
-    progress (at least one sublist per window).
-    """
-    n = sublist.size
-    if n == 0:
-        return []
-    change = np.flatnonzero(sublist[1:] != sublist[:-1]) + 1
-    boundaries = np.concatenate([change, [n]])
-    windows: List[Tuple[int, int]] = []
-    start = 0
-    while start < n:
-        nominal = start + window_size
-        if nominal >= n:
-            windows.append((start, n))
-            break
-        # the boundary closest to the nominal end, but beyond the start
-        i = int(np.searchsorted(boundaries, nominal))
-        if i == boundaries.size:
-            end = n
-        elif i > 0 and boundaries[i - 1] > start and (
-            nominal - boundaries[i - 1] <= boundaries[i] - nominal
-        ):
-            end = int(boundaries[i - 1])
-        else:
-            end = int(boundaries[i])
-        windows.append((start, end))
-        start = end
-    return windows
-
-
-def _order_groups(
-    src: np.ndarray,
-    dst: np.ndarray,
-    degrees: np.ndarray,
-    order: WindowOrder,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Reorder whole sublists (source groups) for the window sweep."""
-    if order is WindowOrder.NATURAL or src.size == 0:
-        return src, dst
-    counts = np.bincount(src, minlength=degrees.size)
-    sources = np.flatnonzero(counts)
-    key = degrees[sources]
-    perm = np.argsort(key if order is WindowOrder.ASC_DEGREE else -key, kind="stable")
-    sources = sources[perm]
-    # gather each group's slice in the new source order
-    starts = np.zeros(degrees.size + 1, dtype=np.int64)
-    np.cumsum(counts, out=starts[1:])
-    reps = counts[sources]
-    idx = np.repeat(starts[sources], reps) + _segment_arange(reps)
-    return src[idx], dst[idx]
-
-
-def _segment_arange(counts: np.ndarray) -> np.ndarray:
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    ends = np.cumsum(counts)
-    starts = ends - counts
-    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+# re-exported for callers that used the historical private names
+_order_groups = _order_groups
+_split_range = _split_range
 
 
 def windowed_search(
@@ -153,12 +55,12 @@ def windowed_search(
     window_order: WindowOrder = WindowOrder.NATURAL,
     chunk_pairs: int = 1 << 22,
     early_exit_heuristic: bool = False,
-    deadline: Optional[float] = None,
+    deadline: Union[None, float, Deadline] = None,
     adaptive: bool = False,
     checkpoint: Optional[SearchCheckpoint] = None,
     checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]] = None,
 ) -> WindowedOutcome:
-    """Run the windowed variant over a prepared 2-clique list.
+    """Run the sequential windowed variant over a prepared 2-clique list.
 
     Returns the single best clique found across all windows (at least
     the heuristic clique).
@@ -181,117 +83,21 @@ def windowed_search(
     the latest state in its ``checkpoint`` attribute, with the
     interrupted window first in ``pending``.
     """
-    if isinstance(window_size, str):
-        window_size = auto_window_size(graph, device, src.size)
-
-    src, dst = _order_groups(src, dst, graph.degrees, window_order)
-
-    best_clique = np.asarray(heuristic_clique, dtype=np.int32)
-    best = int(best_clique.size) if best_clique.size else max(omega_bar, 0)
-
-    # LIFO work list so adaptive splits are processed depth-first
-    if checkpoint is not None:
-        pending = list(reversed(checkpoint.pending))
-        w_index = checkpoint.windows_done - 1
-        total_windows = checkpoint.total_windows
-        if checkpoint.omega > best:
-            best = checkpoint.omega
-            best_clique = np.asarray(checkpoint.best_clique, dtype=np.int32)
-    else:
-        pending = list(reversed(split_windows(src, window_size)))
-        w_index = -1
-        total_windows = len(pending)
-    outcome = WindowedOutcome(best_clique=best_clique, omega=best)
-
-    def snapshot(interrupted: Optional[Tuple[int, int]] = None) -> SearchCheckpoint:
-        remaining = list(reversed(pending))
-        if interrupted is not None:
-            remaining.insert(0, interrupted)
-        return SearchCheckpoint(
-            omega=best,
-            best_clique=[int(v) for v in np.asarray(best_clique).tolist()],
-            pending=remaining,
-            windows_done=w_index + 1,
-            total_windows=total_windows,
-        )
-
-    while pending:
-        a, b = pending.pop()
-        w_index += 1
-        if deadline is not None and time.perf_counter() > deadline:
-            raise SolveTimeoutError(
-                f"windowed search exceeded its wall-time limit at "
-                f"window {w_index}"
-            )
-        device.pool.reset_peak()
-        base = device.pool.in_use_bytes
-        bar = max(omega_bar, best)
-        try:
-            result: BFSOutcome = bfs_search(
-                graph,
-                src[a:b],
-                dst[a:b],
-                bar,
-                device,
-                chunk_pairs=chunk_pairs,
-                early_exit_heuristic=early_exit_heuristic,
-                deadline=deadline,
-            )
-        except DeviceOOMError:
-            if not adaptive:
-                raise
-            halves = _split_range(src, a, b)
-            if halves is None:
-                raise  # a single sublist's subtree exceeds the budget
-            outcome.adaptive_splits += 1
-            w_index -= 1  # the split window was not completed
-            total_windows += 1  # one window became two
-            pending.extend(reversed(halves))
-            continue
-        except DeviceLostError as exc:
-            w_index -= 1  # the interrupted window was not completed
-            exc.checkpoint = snapshot(interrupted=(a, b))
-            raise
-        try:
-            if result.omega > best and result.clique_list.nodes:
-                best = result.omega
-                best_clique = result.clique_list.read_cliques(limit=1)[0]
-            outcome.levels.extend(result.levels)
-            outcome.candidates_stored += result.candidates_stored
-            outcome.candidates_pruned += result.candidates_pruned
-            peak = device.pool.peak_bytes - base
-            outcome.peak_window_bytes = max(outcome.peak_window_bytes, peak)
-            outcome.windows.append(
-                WindowStats(
-                    index=w_index,
-                    start=a,
-                    end=b,
-                    peak_bytes=peak,
-                    best_clique_size=best,
-                    levels=len(result.levels),
-                )
-            )
-            outcome.stopped_by_heuristic |= result.stopped_by_heuristic
-        finally:
-            result.clique_list.free_all()
-        if checkpoint_sink is not None:
-            checkpoint_sink(snapshot())
-
-    outcome.best_clique = np.asarray(best_clique, dtype=np.int32)
-    outcome.omega = best
-    return outcome
-
-
-def _split_range(src: np.ndarray, a: int, b: int):
-    """Split [a, b) at the sublist boundary nearest its midpoint.
-
-    Returns ``None`` when the range is a single sublist (cannot be
-    split without breaking a candidate's suffix).
-    """
-    seg = src[a:b]
-    change = np.flatnonzero(seg[1:] != seg[:-1]) + 1
-    if change.size == 0:
-        return None
-    mid = seg.size // 2
-    cut = int(change[np.argmin(np.abs(change - mid))])
-    return [(a, a + cut), (a + cut, b)]
+    return window_sweep(
+        graph,
+        src,
+        dst,
+        omega_bar,
+        heuristic_clique,
+        device,
+        window_size=window_size,
+        fanout=1,
+        window_order=window_order,
+        chunk_pairs=chunk_pairs,
+        early_exit_heuristic=early_exit_heuristic,
+        deadline=deadline,
+        adaptive=adaptive,
+        checkpoint=checkpoint,
+        checkpoint_sink=checkpoint_sink,
+        label="windowed search",
+    )

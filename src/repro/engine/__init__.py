@@ -1,0 +1,49 @@
+"""The search engine: one level loop, pluggable batch executors.
+
+This layer owns the two mechanisms the rest of the repo configures
+rather than reimplements (see docs/ARCHITECTURE.md):
+
+* :mod:`~repro.engine.driver` -- :class:`LevelDriver`, the single
+  implementation of the paper's count / scan / output breadth-first
+  level loop (Algorithm 2). The sequential, windowed, and
+  concurrent-fanout searches in :mod:`repro.core` are thin adapters
+  over it; :mod:`~repro.engine.sweep` adds the shared window sweep
+  (splitting, ordering, adaptive retry, checkpointing).
+* :mod:`~repro.engine.executor` -- the :class:`Executor` protocol the
+  solve service drains batches through: :class:`SerialExecutor` (the
+  reference order) and :class:`ThreadedExecutor` (one worker per
+  pooled device, deterministic ticket-ordered commits, byte-identical
+  records to serial).
+
+``engine`` sits between :mod:`repro.gpusim` (which it charges) and
+:mod:`repro.core` (which configures it); it must never import from
+``core.bfs`` / ``core.windowed`` / ``core.concurrent`` or anything
+above them.
+"""
+
+from .driver import BFSOutcome, LevelDriver
+from .executor import (
+    BatchPlan,
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
+from .passes import chunk_slices, count_pass, expand_pairs, output_pass
+from .sweep import WindowedOutcome, window_sweep
+
+__all__ = [
+    "LevelDriver",
+    "BFSOutcome",
+    "WindowedOutcome",
+    "window_sweep",
+    "chunk_slices",
+    "expand_pairs",
+    "count_pass",
+    "output_pass",
+    "Executor",
+    "BatchPlan",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "resolve_executor",
+]

@@ -1,0 +1,400 @@
+"""The window sweep shared by the sequential and concurrent searches.
+
+When the full breadth-first candidate set cannot fit in device memory,
+the 2-clique list is split into *windows* and the level loop runs on
+one window (or one ``fanout``-sized group of windows) at a time,
+solving for a single maximum clique rather than enumerating all of
+them (paper Section IV-E). Window boundaries are snapped to sublist
+ends (a candidate needs every vertex after it in its sublist), the
+best clique found so far raises ω̄ for later windows, and each
+window's clique list is freed before the next begins -- peak memory is
+set by the largest single-window (or single-group) subtree instead of
+the whole search.
+
+:func:`window_sweep` owns everything the two historical copies in
+``core/windowed.py`` and ``core/concurrent.py`` used to duplicate:
+window splitting and ordering, the ω̄ carry, per-window deadline
+checks, peak accounting, adaptive splitting, and checkpoint capture.
+The per-level work is delegated to
+:class:`~repro.engine.driver.LevelDriver` -- isolated launches for
+``fanout=1``, merged (fused) launches for ``fanout>1`` -- so
+``fanout=1`` follows the exact sequential schedule and the
+concurrent path is the same sweep under a different launch schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import DeviceLostError, DeviceOOMError
+from ..gpusim.device import Device
+from ..graph.csr import CSRGraph
+from ..core.checkpoint import SearchCheckpoint
+from ..core.config import WindowOrder
+from ..core.deadline import Deadline, as_deadline
+from ..core.result import LevelStats, WindowStats
+from .driver import BFSOutcome, LevelDriver
+
+__all__ = [
+    "WindowedOutcome",
+    "window_sweep",
+    "auto_window_size",
+    "split_windows",
+    "order_groups",
+    "split_range",
+]
+
+
+@dataclass
+class WindowedOutcome:
+    """Result of a windowed search (one maximum clique)."""
+
+    best_clique: np.ndarray
+    omega: int
+    windows: List[WindowStats] = field(default_factory=list)
+    levels: List[LevelStats] = field(default_factory=list)
+    candidates_stored: int = 0
+    candidates_pruned: int = 0
+    peak_window_bytes: int = 0
+    stopped_by_heuristic: bool = False
+    adaptive_splits: int = 0
+
+
+def auto_window_size(
+    graph: CSRGraph, device: Device, num_two_cliques: int
+) -> int:
+    """Moon-Moser-guided window size (extension).
+
+    Bounds the candidates a window can generate by ``W * 3^(t/3)``
+    (Moon & Moser's maximal-clique bound applied to the average
+    sublist tail ``t``) and sizes ``W`` so that estimate fits in a
+    quarter of the free device budget.
+    """
+    budget = device.pool.budget_bytes
+    if budget is None:
+        return max(num_two_cliques, 1)
+    free = max(budget - device.pool.in_use_bytes, 1)
+    n = max(graph.num_vertices, 1)
+    avg_tail = max(num_two_cliques / n - 1.0, 0.0)
+    expansion = 3.0 ** (min(avg_tail, 48.0) / 3.0)
+    bytes_per_candidate = 8.0  # int32 vertexID + int32 sublistID
+    w = int(free / 4.0 / (bytes_per_candidate * expansion))
+    return int(np.clip(w, 256, 1 << 20))
+
+
+def split_windows(
+    sublist: np.ndarray, window_size: int
+) -> List[Tuple[int, int]]:
+    """Split a 2-clique list into windows snapped to sublist boundaries.
+
+    ``sublist`` is the root node's ``sublistID`` array (source
+    vertices); a boundary is any index where the value changes. Each
+    window ends at the boundary nearest its nominal end, always making
+    progress (at least one sublist per window).
+    """
+    n = sublist.size
+    if n == 0:
+        return []
+    change = np.flatnonzero(sublist[1:] != sublist[:-1]) + 1
+    boundaries = np.concatenate([change, [n]])
+    windows: List[Tuple[int, int]] = []
+    start = 0
+    while start < n:
+        nominal = start + window_size
+        if nominal >= n:
+            windows.append((start, n))
+            break
+        # the boundary closest to the nominal end, but beyond the start
+        i = int(np.searchsorted(boundaries, nominal))
+        if i == boundaries.size:
+            end = n
+        elif i > 0 and boundaries[i - 1] > start and (
+            nominal - boundaries[i - 1] <= boundaries[i] - nominal
+        ):
+            end = int(boundaries[i - 1])
+        else:
+            end = int(boundaries[i])
+        windows.append((start, end))
+        start = end
+    return windows
+
+
+def order_groups(
+    src: np.ndarray,
+    dst: np.ndarray,
+    degrees: np.ndarray,
+    order: WindowOrder,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reorder whole sublists (source groups) for the window sweep."""
+    if order is WindowOrder.NATURAL or src.size == 0:
+        return src, dst
+    counts = np.bincount(src, minlength=degrees.size)
+    sources = np.flatnonzero(counts)
+    key = degrees[sources]
+    perm = np.argsort(key if order is WindowOrder.ASC_DEGREE else -key, kind="stable")
+    sources = sources[perm]
+    # gather each group's slice in the new source order
+    starts = np.zeros(degrees.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    reps = counts[sources]
+    idx = np.repeat(starts[sources], reps) + _segment_arange(reps)
+    return src[idx], dst[idx]
+
+
+def _segment_arange(counts: np.ndarray) -> np.ndarray:
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    starts = ends - counts
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+
+
+def split_range(src: np.ndarray, a: int, b: int):
+    """Split [a, b) at the sublist boundary nearest its midpoint.
+
+    Returns ``None`` when the range is a single sublist (cannot be
+    split without breaking a candidate's suffix).
+    """
+    seg = src[a:b]
+    change = np.flatnonzero(seg[1:] != seg[:-1]) + 1
+    if change.size == 0:
+        return None
+    mid = seg.size // 2
+    cut = int(change[np.argmin(np.abs(change - mid))])
+    return [(a, a + cut), (a + cut, b)]
+
+
+def window_sweep(
+    graph: CSRGraph,
+    src: np.ndarray,
+    dst: np.ndarray,
+    omega_bar: int,
+    heuristic_clique: np.ndarray,
+    device: Device,
+    window_size: Union[int, str],
+    fanout: int = 1,
+    window_order: WindowOrder = WindowOrder.NATURAL,
+    chunk_pairs: int = 1 << 22,
+    early_exit_heuristic: bool = False,
+    deadline: Union[None, float, Deadline] = None,
+    adaptive: bool = False,
+    checkpoint: Optional[SearchCheckpoint] = None,
+    checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]] = None,
+    label: str = "windowed search",
+) -> WindowedOutcome:
+    """Run the windowed search over a prepared 2-clique list.
+
+    Returns the single best clique found across all windows (at least
+    the heuristic clique). ``fanout=1`` sweeps windows one at a time
+    on the isolated launch schedule and supports adaptive splitting
+    and checkpoint/resume; ``fanout>1`` advances that many windows
+    together on the fused schedule (merged kernel launches, shared
+    group-start ω̄ bound -- paper Section V-C3), which supports
+    neither.
+
+    With ``adaptive=True`` (the recursive-windowing extension), a
+    window whose subtree exceeds device memory is split in half at a
+    sublist boundary and each half is retried, recursively, down to
+    single sublists. Only a single sublist whose own subtree exceeds
+    the budget still raises :class:`~repro.errors.DeviceOOMError`.
+
+    Checkpoint/resume: with a ``checkpoint`` the sweep skips its
+    completed windows and resumes from the checkpoint's pending ranges
+    with its best clique as the ω̄ floor (the caller must have
+    verified graph/config identity -- ranges index the *ordered*
+    2-clique list). ``checkpoint_sink`` is called with a fresh
+    :class:`~repro.core.checkpoint.SearchCheckpoint` after every
+    completed window (fingerprints left empty at this layer); a
+    :class:`~repro.errors.DeviceLostError` escaping a window carries
+    the latest state in its ``checkpoint`` attribute, with the
+    interrupted window first in ``pending``.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be at least 1")
+    if fanout > 1 and (adaptive or checkpoint is not None or checkpoint_sink is not None):
+        raise ValueError(
+            "adaptive splitting and checkpoint/resume require fanout == 1"
+        )
+    if isinstance(window_size, str):
+        window_size = auto_window_size(graph, device, src.size)
+    ddl = as_deadline(deadline, label)
+
+    src, dst = order_groups(src, dst, graph.degrees, window_order)
+    driver = LevelDriver(graph, device, chunk_pairs=chunk_pairs, deadline=ddl)
+
+    best_clique = np.asarray(heuristic_clique, dtype=np.int32)
+    best = int(best_clique.size) if best_clique.size else max(omega_bar, 0)
+    outcome = WindowedOutcome(best_clique=best_clique, omega=best)
+
+    if fanout == 1:
+        _sequential_sweep(
+            driver, src, dst, omega_bar, window_size, best, best_clique,
+            outcome, ddl, early_exit_heuristic, adaptive,
+            checkpoint, checkpoint_sink,
+        )
+    else:
+        _fused_sweep(
+            driver, src, dst, omega_bar, window_size, fanout, best,
+            best_clique, outcome, ddl,
+        )
+    return outcome
+
+
+def _sequential_sweep(
+    driver: LevelDriver,
+    src: np.ndarray,
+    dst: np.ndarray,
+    omega_bar: int,
+    window_size: int,
+    best: int,
+    best_clique: np.ndarray,
+    outcome: WindowedOutcome,
+    ddl: Deadline,
+    early_exit_heuristic: bool,
+    adaptive: bool,
+    checkpoint: Optional[SearchCheckpoint],
+    checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]],
+) -> None:
+    device = driver.device
+
+    # LIFO work list so adaptive splits are processed depth-first
+    if checkpoint is not None:
+        pending = list(reversed(checkpoint.pending))
+        w_index = checkpoint.windows_done - 1
+        total_windows = checkpoint.total_windows
+        if checkpoint.omega > best:
+            best = checkpoint.omega
+            best_clique = np.asarray(checkpoint.best_clique, dtype=np.int32)
+    else:
+        pending = list(reversed(split_windows(src, window_size)))
+        w_index = -1
+        total_windows = len(pending)
+
+    def snapshot(interrupted: Optional[Tuple[int, int]] = None) -> SearchCheckpoint:
+        remaining = list(reversed(pending))
+        if interrupted is not None:
+            remaining.insert(0, interrupted)
+        return SearchCheckpoint(
+            omega=best,
+            best_clique=[int(v) for v in np.asarray(best_clique).tolist()],
+            pending=remaining,
+            windows_done=w_index + 1,
+            total_windows=total_windows,
+        )
+
+    while pending:
+        a, b = pending.pop()
+        w_index += 1
+        ddl.check(f"window {w_index}")
+        device.pool.reset_peak()
+        base = device.pool.in_use_bytes
+        bar = max(omega_bar, best)
+        try:
+            result: BFSOutcome = driver.run(
+                src[a:b], dst[a:b], bar,
+                early_exit_heuristic=early_exit_heuristic,
+            )
+        except DeviceOOMError:
+            if not adaptive:
+                raise
+            halves = split_range(src, a, b)
+            if halves is None:
+                raise  # a single sublist's subtree exceeds the budget
+            outcome.adaptive_splits += 1
+            w_index -= 1  # the split window was not completed
+            total_windows += 1  # one window became two
+            pending.extend(reversed(halves))
+            continue
+        except DeviceLostError as exc:
+            w_index -= 1  # the interrupted window was not completed
+            exc.checkpoint = snapshot(interrupted=(a, b))
+            raise
+        try:
+            if result.omega > best and result.clique_list.nodes:
+                best = result.omega
+                best_clique = result.clique_list.read_cliques(limit=1)[0]
+            outcome.levels.extend(result.levels)
+            outcome.candidates_stored += result.candidates_stored
+            outcome.candidates_pruned += result.candidates_pruned
+            peak = device.pool.peak_bytes - base
+            outcome.peak_window_bytes = max(outcome.peak_window_bytes, peak)
+            outcome.windows.append(
+                WindowStats(
+                    index=w_index,
+                    start=a,
+                    end=b,
+                    peak_bytes=peak,
+                    best_clique_size=best,
+                    levels=len(result.levels),
+                )
+            )
+            outcome.stopped_by_heuristic |= result.stopped_by_heuristic
+        finally:
+            result.clique_list.free_all()
+        if checkpoint_sink is not None:
+            checkpoint_sink(snapshot())
+
+    outcome.best_clique = np.asarray(best_clique, dtype=np.int32)
+    outcome.omega = best
+
+
+def _fused_sweep(
+    driver: LevelDriver,
+    src: np.ndarray,
+    dst: np.ndarray,
+    omega_bar: int,
+    window_size: int,
+    fanout: int,
+    best: int,
+    best_clique: np.ndarray,
+    outcome: WindowedOutcome,
+    ddl: Deadline,
+) -> None:
+    device = driver.device
+
+    def level_sink(stats: LevelStats) -> None:
+        outcome.levels.append(stats)
+        outcome.candidates_pruned += stats.pruned
+
+    windows = split_windows(src, window_size)
+    for g_start in range(0, len(windows), fanout):
+        ddl.check(f"window group {g_start // fanout}")
+        group = windows[g_start : g_start + fanout]
+        device.pool.reset_peak()
+        base = device.pool.in_use_bytes
+        bar = max(omega_bar, best)  # shared bound, fixed for the group
+        lanes = []
+        try:
+            for i, (a, b) in enumerate(group):
+                lanes.append(
+                    driver.open_lane(g_start + i, a, b, src[a:b], dst[a:b])
+                )
+            driver.run_fused(lanes, bar, level_sink=level_sink)
+            for la in lanes:
+                if la.omega > best and la.clique_list.nodes:
+                    best = la.omega
+                    best_clique = la.clique_list.read_cliques(limit=1)[0]
+                outcome.candidates_stored += la.clique_list.total_candidates
+            peak = device.pool.peak_bytes - base
+            outcome.peak_window_bytes = max(outcome.peak_window_bytes, peak)
+            for la in lanes:
+                outcome.windows.append(
+                    WindowStats(
+                        index=la.index,
+                        start=la.start,
+                        end=la.end,
+                        peak_bytes=peak,  # group-level peak (shared)
+                        best_clique_size=max(best, bar),
+                        levels=len(la.levels),
+                    )
+                )
+        finally:
+            for la in lanes:
+                la.clique_list.free_all()
+
+    outcome.best_clique = np.asarray(best_clique, dtype=np.int32)
+    outcome.omega = best

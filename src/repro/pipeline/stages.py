@@ -19,7 +19,11 @@ The stage implementations delegate to the same ``kcore`` /
 ``heuristics`` / ``setup`` / ``bfs`` / ``windowed`` functions the
 monolithic solver called, in the same order with the same arguments,
 so a staged solve charges the device identically to the pre-pipeline
-code -- model-time numbers are unchanged.
+code -- model-time numbers are unchanged. The search stages call the
+:mod:`repro.core` adapters, which all configure the one level loop in
+:class:`repro.engine.driver.LevelDriver` (see docs/ARCHITECTURE.md);
+deadlines are uniform :class:`~repro.core.deadline.Deadline` checks
+relabelled per search flavour by the adapters.
 """
 
 from __future__ import annotations
@@ -274,11 +278,7 @@ class WindowedSearchStage:
                     "(the concurrent-windows sweep is not resumable)"
                 )
             from ..core.concurrent import concurrent_windowed_search
-            from ..core.windowed import auto_window_size
 
-            window_size = config.window_size
-            if isinstance(window_size, str):
-                window_size = auto_window_size(ctx.graph, ctx.device, ctx.src.size)
             outcome = concurrent_windowed_search(
                 ctx.graph,
                 ctx.src,
@@ -286,7 +286,7 @@ class WindowedSearchStage:
                 ctx.omega_bar,
                 heuristic.clique,
                 ctx.device,
-                window_size=window_size,
+                window_size=config.window_size,
                 fanout=config.window_fanout,
                 window_order=config.window_order,
                 chunk_pairs=config.chunk_pairs,

@@ -8,7 +8,10 @@ docs/SERVICE.md):
   pool of simulated devices, get
   :class:`~repro.service.request.JobRecord` accounts back;
 * :mod:`~repro.service.scheduler` -- FIFO / shortest-expected-first
-  ordering and least-loaded device placement;
+  ordering;
+* :mod:`~repro.service.pool` -- the self-healing device pool with
+  least-loaded placement (how batches *drain* -- serial or threaded --
+  is the executor's business, see :mod:`repro.engine.executor`);
 * :mod:`~repro.service.cache` -- LRU result cache keyed by graph
   fingerprint + config;
 * :mod:`~repro.service.admission` -- memory-aware full / windowed /
@@ -27,8 +30,9 @@ from .admission import (
 from .cache import ResultCache, config_fingerprint, request_key
 from .jobs import load_jobs, parse_jobs, resolve_graph
 from .policy import DegradationPolicy
+from .pool import DeviceHealth, DevicePool
 from .request import JobRecord, SolveRequest
-from .scheduler import DeviceHealth, DevicePool, Scheduler, expected_cost
+from .scheduler import Scheduler, expected_cost
 from .service import ServiceSummary, SolveService
 
 __all__ = [

@@ -62,6 +62,10 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        """Membership probe; counts neither a hit nor a miss."""
+        return key in self._entries
+
     def get(self, key: Tuple[str, str]) -> Optional[object]:
         """Return the cached value or None; counts a hit or a miss."""
         entry = self._entries.get(key)

@@ -1,20 +1,22 @@
-"""Job ordering and the simulated device pool.
+"""Job ordering policies.
 
 Scheduling policy -- not the kernel alone -- decides throughput on
 real multi-request workloads (cf. Almasri et al.; Pattabiraman et
 al.). The service keeps the two scheduling levers explicit and
 deterministic:
 
-* **ordering** (:class:`Scheduler`): ``"fifo"`` preserves submission
-  order; ``"sef"`` (shortest-expected-first) orders by a cheap
-  structural cost estimate so small jobs are not stuck behind
+* **ordering** (:class:`Scheduler`, this module): ``"fifo"`` preserves
+  submission order; ``"sef"`` (shortest-expected-first) orders by a
+  cheap structural cost estimate so small jobs are not stuck behind
   monsters -- the classic mean-latency optimisation. Priority always
   dominates: higher-priority jobs run first under either policy.
-* **placement** (:class:`DevicePool`): jobs go to the least-loaded of
-  a pool of simulated devices (least accumulated model time, i.e.
-  greedy longest-processing-time balancing). Host execution is
-  serial; the pool models what a multi-GPU deployment's makespan
-  would be, reported as ``makespan_model_s``.
+* **placement** (:class:`~repro.service.pool.DevicePool`, now in
+  :mod:`repro.service.pool`): jobs go to the least-loaded of a pool of
+  simulated devices (least accumulated model time, i.e. greedy
+  longest-processing-time balancing); ``makespan_model_s`` reports
+  what a multi-GPU deployment's makespan would be. How many jobs run
+  *concurrently on the host* is the executor's business
+  (:mod:`repro.engine.executor`), not the scheduler's.
 
 The cost estimate is the dominant work term of the paper's Algorithm
 2: every candidate check binary-searches an adjacency list, so
@@ -26,21 +28,22 @@ hard-to-prune inputs (Section V-B2).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import List
 
-from ..errors import DeviceLostError
 from ..graph.csr import CSRGraph
-from ..gpusim.device import Device
-from ..gpusim.spec import DeviceSpec
 from .request import SolveRequest
 
-__all__ = ["Scheduler", "DevicePool", "DeviceHealth", "expected_cost"]
+# the pool classes lived here before the engine refactor; re-exported
+# for backwards compatibility
+from .pool import (  # noqa: F401
+    HEALTHY,
+    PROBATION,
+    QUARANTINED,
+    DeviceHealth,
+    DevicePool,
+)
 
-#: device health states (circuit-breaker machine)
-HEALTHY = "healthy"
-QUARANTINED = "quarantined"
-PROBATION = "probation"
+__all__ = ["Scheduler", "DevicePool", "DeviceHealth", "expected_cost"]
 
 #: valid ordering policies
 POLICIES = ("fifo", "sef")
@@ -89,223 +92,3 @@ class Scheduler:
             requests,
             key=lambda r: (-r.priority, expected_cost(r.graph), r.seq),
         )
-
-
-@dataclass
-class DeviceHealth:
-    """Circuit-breaker accounting for one pool device.
-
-    The state machine is ``healthy -> quarantined -> probation ->
-    healthy`` (see docs/SERVICE.md): faults accumulate while healthy;
-    crossing the threshold (or any device loss) quarantines the device
-    for an exponential-backoff number of *dispatches* (the pool's
-    deterministic clock -- no wall time); a quarantined device whose
-    backoff expired serves one probation job, and that job's outcome
-    decides between full health and a re-quarantine with the backoff
-    doubled.
-    """
-
-    state: str = HEALTHY
-    consecutive_faults: int = 0
-    total_faults: int = 0
-    #: pool dispatch-clock value at the most recent fault
-    last_fault_ordinal: Optional[int] = None
-    #: dispatch-clock value at which quarantine lapses into probation
-    quarantined_until: int = 0
-    #: current backoff length in dispatches (doubles per re-quarantine)
-    backoff: int = 0
-    quarantines: int = 0
-    #: lost devices replaced on revival
-    replacements: int = 0
-
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "state": self.state,
-            "consecutive_faults": self.consecutive_faults,
-            "total_faults": self.total_faults,
-            "last_fault_ordinal": self.last_fault_ordinal,
-            "quarantines": self.quarantines,
-            "replacements": self.replacements,
-        }
-
-
-class DevicePool:
-    """A self-healing pool of simulated devices with least-loaded placement.
-
-    Every device is constructed from the same spec; jobs land on the
-    *eligible* device with the least accumulated model time (ties:
-    lowest index), which is greedy makespan balancing. Devices
-    accumulate state across jobs exactly as shared devices do (see
-    ``Device`` notes) -- the pool's ``makespan_model_s`` is what a real
-    multi-device deployment would wait for.
-
-    Health: each device carries a :class:`DeviceHealth` circuit
-    breaker. The service reports faults (:meth:`note_fault`) and
-    successes (:meth:`note_success`); the pool quarantines devices
-    after ``fault_threshold`` consecutive faults (immediately on
-    device loss), backs off exponentially starting at ``backoff_base``
-    dispatches, and revives lost devices with a replacement that
-    inherits the old device's model clock (makespan continuity) and
-    fault injector (plan ordinals keep counting). A pool can never
-    starve: when every device is quarantined, the one whose backoff
-    expires first is force-revived.
-    """
-
-    def __init__(
-        self,
-        size: int = 1,
-        spec: Optional[DeviceSpec] = None,
-        fault_threshold: int = 3,
-        backoff_base: int = 2,
-    ) -> None:
-        if size < 1:
-            raise ValueError("pool size must be at least 1")
-        if fault_threshold < 1:
-            raise ValueError("fault_threshold must be at least 1")
-        if backoff_base < 1:
-            raise ValueError("backoff_base must be at least 1")
-        self.spec = spec if spec is not None else DeviceSpec()
-        self.devices = [Device(self.spec) for _ in range(size)]
-        self.jobs_dispatched = [0] * size
-        self.health = [DeviceHealth() for _ in range(size)]
-        self.fault_threshold = fault_threshold
-        self.backoff_base = backoff_base
-        #: dispatch clock: total jobs dispatched (quarantine time base)
-        self.clock = 0
-        self._injectors: List[Optional[object]] = [None] * size
-
-    def __len__(self) -> int:
-        return len(self.devices)
-
-    # ------------------------------------------------------------------
-    # fault plan installation
-    # ------------------------------------------------------------------
-    def install_fault_plan(self, plan) -> None:
-        """Install a :class:`~repro.gpusim.faults.FaultPlan`'s injectors.
-
-        Devices the plan never faults get no injector at all (their
-        launch/alloc paths stay zero-overhead).
-        """
-        for i, device in enumerate(self.devices):
-            injector = plan.injector_for(i)
-            self._injectors[i] = injector
-            if injector is not None:
-                device.set_fault_injector(injector)
-
-    # ------------------------------------------------------------------
-    # placement
-    # ------------------------------------------------------------------
-    def least_loaded(self) -> Tuple[int, Device]:
-        """The eligible (index, device) with the least model time.
-
-        Eligible means healthy, on probation, or quarantined with an
-        expired backoff (lapses into probation here, replacing a lost
-        device). When *no* device is eligible the one whose quarantine
-        expires soonest is force-revived -- a pool cannot starve.
-        """
-        eligible = [i for i in range(len(self.devices)) if self._eligible(i)]
-        if not eligible:
-            i = min(
-                range(len(self.devices)),
-                key=lambda i: (self.health[i].quarantined_until, i),
-            )
-            self._enter_probation(i)
-            eligible = [i]
-        i = min(eligible, key=lambda i: (self.devices[i].model_time_s, i))
-        return i, self.devices[i]
-
-    def _eligible(self, index: int) -> bool:
-        h = self.health[index]
-        if h.state == QUARANTINED:
-            if self.clock >= h.quarantined_until:
-                self._enter_probation(index)
-                return True
-            return False
-        return True
-
-    def _enter_probation(self, index: int) -> None:
-        h = self.health[index]
-        h.state = PROBATION
-        if self.devices[index].lost:
-            self._replace_device(index)
-
-    def _replace_device(self, index: int) -> None:
-        """Swap in a fresh device for a lost one (simulated node repair).
-
-        The replacement inherits the old device's model clock so pool
-        makespan accounting stays continuous, and the same fault
-        injector so a plan's later ordinals still land.
-        """
-        old = self.devices[index]
-        fresh = Device(self.spec)
-        fresh.charge_time(old.model_time_s)
-        injector = self._injectors[index]
-        if injector is not None:
-            fresh.set_fault_injector(injector)
-        self.devices[index] = fresh
-        self.health[index].replacements += 1
-
-    def note_dispatch(self, index: int) -> None:
-        """Record that a job was launched on device ``index``."""
-        self.jobs_dispatched[index] += 1
-        self.clock += 1
-
-    # ------------------------------------------------------------------
-    # health reporting (called by the service)
-    # ------------------------------------------------------------------
-    def note_fault(self, index: int, error: BaseException) -> None:
-        """Account one device fault; quarantine when the breaker trips.
-
-        Device loss and any fault during probation quarantine
-        immediately; transient faults quarantine after
-        ``fault_threshold`` consecutive ones.
-        """
-        h = self.health[index]
-        h.total_faults += 1
-        h.consecutive_faults += 1
-        h.last_fault_ordinal = self.clock
-        if (
-            isinstance(error, DeviceLostError)
-            or h.state == PROBATION
-            or h.consecutive_faults >= self.fault_threshold
-        ):
-            self._quarantine(index)
-
-    def _quarantine(self, index: int) -> None:
-        h = self.health[index]
-        h.state = QUARANTINED
-        h.quarantines += 1
-        h.backoff = self.backoff_base * (2 ** (h.quarantines - 1))
-        h.quarantined_until = self.clock + h.backoff
-        h.consecutive_faults = 0
-
-    def note_success(self, index: int) -> None:
-        """Account a fault-free job: probation devices regain health."""
-        h = self.health[index]
-        h.consecutive_faults = 0
-        if h.state == PROBATION:
-            h.state = HEALTHY
-
-    # ------------------------------------------------------------------
-    @property
-    def makespan_model_s(self) -> float:
-        """Model time of the busiest device (pool completion time)."""
-        return max(d.model_time_s for d in self.devices)
-
-    @property
-    def total_model_s(self) -> float:
-        """Model time summed over all devices (serial-equivalent)."""
-        return sum(d.model_time_s for d in self.devices)
-
-    def summary(self) -> List[dict]:
-        """Per-device load and health figures for reports."""
-        return [
-            {
-                "device": i,
-                "jobs": self.jobs_dispatched[i],
-                "model_time_s": d.model_time_s,
-                "mem_peak_bytes": d.pool.peak_bytes,
-                "health": self.health[i].to_dict(),
-            }
-            for i, d in enumerate(self.devices)
-        ]

@@ -8,6 +8,14 @@ by the memory controller, executed on the least-loaded device of a
 simulated pool, retried down the degradation ladder on OOM/timeout,
 and reported as :class:`~repro.service.request.JobRecord` objects.
 
+*How* a scheduled batch drains is delegated to a pluggable
+:class:`~repro.engine.executor.Executor`: the service packages each
+batch as a :class:`_BatchPlan` (cache/admission prologue, device
+placement, solve, commit) and the executor decides whether tickets
+run one at a time (``"serial"``) or overlap across host threads with
+one in-flight job per pooled device (``"threaded"`` -- byte-identical
+records, cache, and counters; only host wall clock drops).
+
 Observability rides on the PR-1 tracer: each executed job runs inside
 a ``service.job`` span (category ``"service"``) on its device's model
 clock, with the pipeline's per-stage spans nested inside, and the
@@ -26,11 +34,12 @@ decisions, retries, outcomes) -- see docs/OBSERVABILITY.md.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.config import SolverConfig
 from ..core.solver import MaxCliqueSolver
+from ..engine.executor import Executor, resolve_executor
 from ..errors import (
     DeviceLostError,
     DeviceOOMError,
@@ -52,7 +61,8 @@ from .request import (
     STATUS_REJECTED,
     SolveRequest,
 )
-from .scheduler import DevicePool, Scheduler
+from .pool import DevicePool
+from .scheduler import Scheduler
 
 __all__ = ["SolveService", "ServiceSummary"]
 
@@ -130,6 +140,16 @@ class SolveService:
         quarantines the device and migrates the job (resuming from its
         latest checkpoint) -- results are identical to a fault-free
         run, only the fault/retry/migration accounting differs.
+    executor:
+        How a scheduled batch drains: ``"serial"`` (one job at a
+        time, the default), ``"threaded"`` (host threads overlap jobs
+        across the pool's devices, producing byte-identical records
+        and counters in less wall time), or an
+        :class:`~repro.engine.executor.Executor` instance.
+    workers:
+        Worker-thread count for ``executor="threaded"`` (clamped to
+        the pool size; ``None`` means one per device). Ignored for
+        other executors.
     """
 
     def __init__(
@@ -147,10 +167,13 @@ class SolveService:
             Callable[[SolveRequest, int, SolverConfig], None]
         ] = None,
         fault_plan=None,
+        executor: Union[str, Executor, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
         self.pool = DevicePool(devices, spec)
         if fault_plan is not None:
             self.pool.install_fault_plan(fault_plan)
+        self.executor: Executor = resolve_executor(executor, workers)
         self.scheduler = Scheduler(policy)
         self.tracer = tracer
         self.cache = ResultCache(cache_size, tracer=tracer)
@@ -214,26 +237,20 @@ class SolveService:
     # execution
     # ------------------------------------------------------------------
     def run(self) -> List[JobRecord]:
-        """Drain the queue in scheduled order; returns this run's records."""
+        """Drain the queue in scheduled order; returns this run's records.
+
+        The batch is handed to the configured executor as a
+        :class:`_BatchPlan`; record order, cache contents, and
+        counters are the same for every executor (records land in
+        scheduled order regardless of completion order).
+        """
         batch, self._pending = self._pending, []
         ordered = self.scheduler.order(batch)
         t0 = time.perf_counter()
-        out: List[JobRecord] = []
-        for request in ordered:
-            record = self._execute(request)
-            self.records.append(record)
-            out.append(record)
-            log.debug(
-                "job %s: %s%s omega=%s attempts=%d model=%.3f ms",
-                record.job_id,
-                record.status,
-                " (cache)" if record.cache_hit else "",
-                record.clique_number,
-                record.attempts,
-                record.model_time_s * 1e3,
-            )
-        self._run_wall_s += time.perf_counter() - t0
-        return out
+        try:
+            return self.executor.run_batch(_BatchPlan(self, ordered))
+        finally:
+            self._run_wall_s += time.perf_counter() - t0
 
     def solve(self, graph: CSRGraph, config: Optional[SolverConfig] = None, **kw) -> JobRecord:
         """One-shot convenience: submit one job and run it now."""
@@ -258,72 +275,6 @@ class SolveService:
             wall_time_s=self._run_wall_s,
             devices=len(self.pool),
         )
-
-    # ------------------------------------------------------------------
-    def _execute(self, request: SolveRequest) -> JobRecord:
-        w0 = time.perf_counter()
-        key = request_key(request.graph, request.config)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return self._from_cache(request, cached, w0)
-
-        decision = self.admission.decide(
-            request.graph, request.config, self.pool.spec.memory_bytes
-        )
-        self.tracer.counter(f"service.admit.{decision.decision}")
-        if decision.decision == REJECT:
-            self.tracer.counter("service.jobs.rejected")
-            log.debug("job %s rejected: %s", request.job_id, decision.reason)
-            return JobRecord(
-                job_id=request.job_id,
-                status=STATUS_REJECTED,
-                label=request.label,
-                admission=decision.decision,
-                admission_reason=decision.reason,
-                wall_time_s=time.perf_counter() - w0,
-                error=decision.reason,
-            )
-
-        timeout_s = (
-            request.timeout_s
-            if request.timeout_s is not None
-            else self.default_timeout_s
-        )
-        config = self._merge_timeout(decision.config, timeout_s)
-        dev_index, device = self.pool.least_loaded()
-        self.pool.note_dispatch(dev_index)
-        record = JobRecord(
-            job_id=request.job_id,
-            status=STATUS_FAILED,
-            label=request.label,
-            admission=decision.decision,
-            admission_reason=decision.reason,
-            device=dev_index,
-        )
-        with self.tracer.span(
-            "service.job",
-            category="service",
-            model_clock=lambda: self.pool.devices[
-                record.device if record.device is not None else dev_index
-            ].model_time_s,
-            job_id=request.job_id,
-            device=dev_index,
-            admission=decision.decision,
-        ):
-            self._attempt_ladder(request, config, device, dev_index, record)
-        record.wall_time_s = time.perf_counter() - w0
-        if record.status == STATUS_OK:
-            self.tracer.counter("service.jobs.ok")
-            # degraded records are NOT cached: they carry the executed
-            # (degraded) answer but would be keyed under the *requested*
-            # config, poisoning identical future requests that might
-            # well succeed un-degraded (e.g. after cache churn frees
-            # memory or the ladder's first rung was a fluke)
-            if not record.degraded:
-                self.cache.put(key, record)
-        else:
-            self.tracer.counter("service.jobs.failed")
-        return record
 
     def _attempt_ladder(
         self,
@@ -515,4 +466,172 @@ class SolveService:
             # how the cached result was computed, for provenance
             stage_model_times=dict(cached.stage_model_times),
             result=cached.result,
+        )
+
+
+@dataclass
+class _JobState:
+    """Per-ticket launch state threaded from placement to execution."""
+
+    request: SolveRequest
+    w0: float  #: host clock at prologue (wall-time base)
+    decision: Any  #: the admission decision (accept/degrade)
+    config: SolverConfig  #: decided config with the wall budget merged
+    dev_index: int = -1
+    device: Any = None
+    record: JobRecord = field(default=None)  # type: ignore[assignment]
+
+
+class _BatchPlan:
+    """One scheduled batch, as the executor hooks the engine defines.
+
+    Implements :class:`repro.engine.executor.BatchPlan` over a
+    :class:`SolveService` and an already-ordered request list. The
+    split mirrors the historical serial loop exactly:
+
+    * :meth:`prologue` -- cache probe and admission decision; cache
+      hits and rejects finish here;
+    * :meth:`place` -- least-loaded (or executor-chosen) device,
+      dispatch accounting, the skeleton :class:`JobRecord`;
+    * :meth:`run` -- the ``service.job`` span around the attempt
+      ladder (the only hook executors may call off-thread);
+    * :meth:`commit` -- outcome counters, the result-cache insert,
+      the service record log.
+
+    ``sequential_required`` is True whenever overlapped execution
+    could be observed: a fault source is present (injector plan or
+    test hook -- health transitions and checkpoint resumes are
+    ordered by the pool's dispatch clock), a recording tracer is
+    attached (span/kernel streams would interleave), or this batch
+    could evict from the result cache (eviction makes probes of
+    distinct keys order-sensitive).
+    """
+
+    def __init__(self, service: SolveService, ordered: List[SolveRequest]) -> None:
+        self.service = service
+        self.ordered = ordered
+        self.n = len(ordered)
+        self.num_devices = len(service.pool)
+        self._keys: List[Tuple[str, str]] = [
+            request_key(r.graph, r.config) for r in ordered
+        ]
+        self._states: List[Optional[_JobState]] = [None] * self.n
+        cache = service.cache
+        new_keys = {k for k in self._keys if k not in cache}
+        evict_possible = (
+            cache.capacity > 0 and len(cache) + len(new_keys) > cache.capacity
+        )
+        self.sequential_required = (
+            service.fault_hook is not None
+            or service.pool.has_fault_injectors
+            or service.tracer.enabled
+            or evict_possible
+        )
+
+    def key(self, ticket: int) -> Tuple[str, str]:
+        return self._keys[ticket]
+
+    def device_clock(self, device_index: int) -> float:
+        return self.service.pool.devices[device_index].model_time_s
+
+    def prologue(self, ticket: int) -> Optional[JobRecord]:
+        svc = self.service
+        request = self.ordered[ticket]
+        w0 = time.perf_counter()
+        cached = svc.cache.get(self._keys[ticket])
+        if cached is not None:
+            return svc._from_cache(request, cached, w0)
+
+        decision = svc.admission.decide(
+            request.graph, request.config, svc.pool.spec.memory_bytes
+        )
+        svc.tracer.counter(f"service.admit.{decision.decision}")
+        if decision.decision == REJECT:
+            svc.tracer.counter("service.jobs.rejected")
+            log.debug("job %s rejected: %s", request.job_id, decision.reason)
+            return JobRecord(
+                job_id=request.job_id,
+                status=STATUS_REJECTED,
+                label=request.label,
+                admission=decision.decision,
+                admission_reason=decision.reason,
+                wall_time_s=time.perf_counter() - w0,
+                error=decision.reason,
+            )
+
+        timeout_s = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else svc.default_timeout_s
+        )
+        config = svc._merge_timeout(decision.config, timeout_s)
+        self._states[ticket] = _JobState(
+            request=request, w0=w0, decision=decision, config=config
+        )
+        return None
+
+    def place(self, ticket: int, device_index: Optional[int]) -> _JobState:
+        svc = self.service
+        st = self._states[ticket]
+        assert st is not None
+        if device_index is None:
+            st.dev_index, st.device = svc.pool.least_loaded()
+        else:
+            # the executor proved this is the device serial placement
+            # would pick; all devices are healthy in that regime
+            st.dev_index = device_index
+            st.device = svc.pool.devices[device_index]
+        svc.pool.note_dispatch(st.dev_index)
+        st.record = JobRecord(
+            job_id=st.request.job_id,
+            status=STATUS_FAILED,
+            label=st.request.label,
+            admission=st.decision.decision,
+            admission_reason=st.decision.reason,
+            device=st.dev_index,
+        )
+        return st
+
+    def run(self, ticket: int, state: _JobState) -> JobRecord:
+        svc = self.service
+        record = state.record
+        with svc.tracer.span(
+            "service.job",
+            category="service",
+            model_clock=lambda: svc.pool.devices[
+                record.device if record.device is not None else state.dev_index
+            ].model_time_s,
+            job_id=state.request.job_id,
+            device=state.dev_index,
+            admission=state.decision.decision,
+        ):
+            svc._attempt_ladder(
+                state.request, state.config, state.device, state.dev_index, record
+            )
+        record.wall_time_s = time.perf_counter() - state.w0
+        return record
+
+    def commit(self, ticket: int, record: JobRecord) -> None:
+        svc = self.service
+        if self._states[ticket] is not None:  # executed (not cache/reject)
+            if record.status == STATUS_OK:
+                svc.tracer.counter("service.jobs.ok")
+                # degraded records are NOT cached: they carry the executed
+                # (degraded) answer but would be keyed under the *requested*
+                # config, poisoning identical future requests that might
+                # well succeed un-degraded (e.g. after cache churn frees
+                # memory or the ladder's first rung was a fluke)
+                if not record.degraded:
+                    svc.cache.put(self._keys[ticket], record)
+            else:
+                svc.tracer.counter("service.jobs.failed")
+        svc.records.append(record)
+        log.debug(
+            "job %s: %s%s omega=%s attempts=%d model=%.3f ms",
+            record.job_id,
+            record.status,
+            " (cache)" if record.cache_hit else "",
+            record.clique_number,
+            record.attempts,
+            record.model_time_s * 1e3,
         )

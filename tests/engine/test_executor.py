@@ -1,0 +1,186 @@
+"""Executor coordination tests against an instrumented fake plan.
+
+The fake plan models exactly what the executors rely on: monotonic
+per-device clocks that only advance while a job runs, a cache keyed
+by request key, and hooks that record their call order. Each threaded
+test cross-checks the full observable outcome (commit order, device
+assignment, cache behaviour) against the serial reference run.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.executor import (
+    SerialExecutor,
+    ThreadedExecutor,
+    resolve_executor,
+)
+
+
+class FakePlan:
+    """BatchPlan double: jobs with fixed model costs on fake devices.
+
+    ``jobs`` is a list of ``(key, cost)``; a repeated key is served
+    "from cache" by the prologue once an identical job has committed
+    (mirroring the service's result cache). ``run`` busy-waits a tiny
+    real delay so threaded runs genuinely overlap, and advances the
+    assigned device's clock by ``cost`` at completion (coarse but
+    monotonic-in-flight, like the simulated device's model clock).
+    """
+
+    def __init__(self, jobs, num_devices=2, sequential_required=False, delay=0.0):
+        self.jobs = jobs
+        self.n = len(jobs)
+        self.num_devices = num_devices
+        self.sequential_required = sequential_required
+        self.delay = delay
+        self.clocks = [0.0] * num_devices
+        self.committed = []
+        self.placed = {}  # ticket -> device
+        self.calls = []  # (hook, ticket) in call order
+        self.cache = set()
+        self._lock = threading.Lock()
+
+    def key(self, ticket):
+        return self.jobs[ticket][0]
+
+    def device_clock(self, device_index):
+        return self.clocks[device_index]
+
+    def prologue(self, ticket):
+        self.calls.append(("prologue", ticket))
+        key = self.jobs[ticket][0]
+        if key in self.cache:
+            return {"ticket": ticket, "cached": True}
+        return None
+
+    def place(self, ticket, device_index):
+        self.calls.append(("place", ticket))
+        if device_index is None:
+            device_index = min(
+                range(self.num_devices), key=lambda d: (self.clocks[d], d)
+            )
+        self.placed[ticket] = device_index
+        return device_index
+
+    def run(self, ticket, device_index):
+        if self.delay:
+            time.sleep(self.delay)
+        with self._lock:
+            self.clocks[device_index] += self.jobs[ticket][1]
+        return {"ticket": ticket, "cached": False, "device": device_index}
+
+    def commit(self, ticket, record):
+        self.calls.append(("commit", ticket))
+        self.cache.add(self.jobs[ticket][0])
+        self.committed.append(record)
+
+
+def run_both(jobs, num_devices=2, workers=None, delay=0.0):
+    serial = FakePlan(jobs, num_devices)
+    SerialExecutor().run_batch(serial)
+    threaded = FakePlan(jobs, num_devices, delay=delay)
+    ThreadedExecutor(workers=workers).run_batch(threaded)
+    return serial, threaded
+
+
+class TestSerialExecutor:
+    def test_hooks_run_in_strict_ticket_order(self):
+        plan = FakePlan([("a", 1.0), ("b", 2.0), ("a", 1.0)])
+        records = SerialExecutor().run_batch(plan)
+        assert [r["ticket"] for r in records] == [0, 1, 2]
+        assert plan.calls == [
+            ("prologue", 0), ("place", 0), ("commit", 0),
+            ("prologue", 1), ("place", 1), ("commit", 1),
+            ("prologue", 2), ("commit", 2),  # cache hit: no placement
+        ]
+        assert records[2]["cached"] is True
+
+    def test_least_loaded_placement(self):
+        plan = FakePlan([("a", 3.0), ("b", 1.0), ("c", 1.0), ("d", 1.0)])
+        SerialExecutor().run_batch(plan)
+        # ticket 0 loads device 0 (3.0); 1 goes to idle device 1; 2 and
+        # 3 keep returning to the lighter device 1 (1.0 then 2.0)
+        assert plan.placed == {0: 0, 1: 1, 2: 1, 3: 1}
+
+    def test_empty_batch(self):
+        assert SerialExecutor().run_batch(FakePlan([])) == []
+
+
+class TestThreadedExecutor:
+    def test_matches_serial_placement_and_commit_order(self):
+        jobs = [("a", 3.0), ("b", 1.0), ("c", 2.0), ("d", 1.0), ("e", 4.0)]
+        serial, threaded = run_both(jobs, num_devices=2, workers=2, delay=0.002)
+        assert threaded.placed == serial.placed
+        assert threaded.clocks == serial.clocks
+        assert [r["ticket"] for r in threaded.committed] == [0, 1, 2, 3, 4]
+
+    def test_duplicate_keys_hit_like_serial(self):
+        jobs = [("a", 2.0), ("a", 2.0), ("b", 1.0), ("a", 2.0), ("b", 1.0)]
+        serial, threaded = run_both(jobs, num_devices=3, workers=3, delay=0.002)
+        s_hits = [r["ticket"] for r in serial.committed if r["cached"]]
+        t_hits = [r["ticket"] for r in threaded.committed if r["cached"]]
+        assert t_hits == s_hits == [1, 3, 4]
+        assert threaded.placed == serial.placed
+
+    def test_returns_records_in_ticket_order(self):
+        jobs = [(f"k{i}", float(1 + i % 3)) for i in range(12)]
+        plan = FakePlan(jobs, num_devices=4, delay=0.001)
+        records = ThreadedExecutor(workers=4).run_batch(plan)
+        assert [r["ticket"] for r in records] == list(range(12))
+        assert [r["ticket"] for r in plan.committed] == list(range(12))
+
+    def test_sequential_required_falls_back_to_serial_order(self):
+        jobs = [("a", 1.0), ("b", 2.0), ("a", 1.0)]
+        reference = FakePlan(jobs)
+        SerialExecutor().run_batch(reference)
+        gated = FakePlan(jobs, sequential_required=True)
+        ThreadedExecutor(workers=2).run_batch(gated)
+        assert gated.calls == reference.calls
+        assert gated.placed == reference.placed
+
+    def test_single_device_pool_degrades_gracefully(self):
+        jobs = [("a", 1.0), ("b", 2.0)]
+        serial, threaded = run_both(jobs, num_devices=1, workers=4)
+        assert threaded.placed == serial.placed == {0: 0, 1: 0}
+
+    def test_worker_exception_propagates(self):
+        class ExplodingPlan(FakePlan):
+            def run(self, ticket, device_index):
+                if ticket == 1:
+                    raise RuntimeError("boom on ticket 1")
+                return super().run(ticket, device_index)
+
+        plan = ExplodingPlan([("a", 1.0), ("b", 1.0), ("c", 1.0)])
+        with pytest.raises(RuntimeError, match="boom on ticket 1"):
+            ThreadedExecutor(workers=2).run_batch(plan)
+        # ticket 0 still committed before the failure surfaced
+        assert [r["ticket"] for r in plan.committed] == [0]
+
+    def test_empty_batch(self):
+        assert ThreadedExecutor().run_batch(FakePlan([])) == []
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(workers=0)
+
+
+class TestResolveExecutor:
+    def test_default_and_serial(self):
+        assert isinstance(resolve_executor(None), SerialExecutor)
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+
+    def test_threaded_with_workers(self):
+        ex = resolve_executor("threaded", workers=3)
+        assert isinstance(ex, ThreadedExecutor)
+        assert ex.workers == 3
+
+    def test_instance_passthrough(self):
+        ex = ThreadedExecutor(workers=2)
+        assert resolve_executor(ex) is ex
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("process")

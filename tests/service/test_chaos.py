@@ -250,6 +250,118 @@ class TestChaosBudgets:
         assert "DeviceLostError" in chaos[0].error
 
 
+class TestThreadedChaosParity:
+    """Chaos runs under ``executor="threaded"`` are byte-equivalent to serial.
+
+    Installed fault injectors (and the recording tracer) force the
+    threaded executor onto its ordered hand-off path, so every retry,
+    migration, and breaker transition must land identically -- only
+    host wall time may differ.
+    """
+
+    @staticmethod
+    def _strip_wall(record):
+        d = record.to_dict()
+        d.pop("wall_time_s", None)
+        return d
+
+    def _run_pair(self, jobs, spec, fault_plan, **svc_kwargs):
+        serial = _run(jobs, spec, fault_plan=fault_plan, **svc_kwargs)
+        threaded = _run(
+            jobs,
+            spec,
+            fault_plan=fault_plan,
+            executor="threaded",
+            workers=2,
+            **svc_kwargs,
+        )
+        s_recs, s_tracer, s_svc = serial
+        t_recs, t_tracer, t_svc = threaded
+        assert [self._strip_wall(r) for r in t_recs] == [
+            self._strip_wall(r) for r in s_recs
+        ]
+        assert t_tracer.counters == s_tracer.counters
+        assert [s.name for s in t_tracer.spans] == [s.name for s in s_tracer.spans]
+        assert [h.state for h in t_svc.pool.health] == [
+            h.state for h in s_svc.pool.health
+        ]
+        t_sum, s_sum = t_svc.summary().to_dict(), s_svc.summary().to_dict()
+        t_sum.pop("wall_time_s", None)
+        s_sum.pop("wall_time_s", None)
+        assert t_sum == s_sum
+        return s_recs, t_recs, t_svc
+
+    def test_device_lost_migration_parity(
+        self, community, spec, community_launches
+    ):
+        jobs = [(community, SolverConfig(window_size=256))]
+        plan = FaultPlan(
+            [FaultEvent(0, "launch", community_launches // 3, "device-lost")]
+        )
+        _s, chaos, svc = self._run_pair(jobs, spec, plan)
+        assert chaos[0].migrations == 1
+        assert svc.pool.health[0].state == QUARANTINED
+
+    def test_mixed_fault_plan_parity(
+        self, community, planted, spec, community_launches
+    ):
+        jobs = [
+            (community, SolverConfig(window_size=256)),
+            (planted, SolverConfig(window_size=512)),
+            (planted, SolverConfig(enumerate_all=False)),
+        ]
+        plan = FaultPlan(
+            [
+                FaultEvent(0, "launch", community_launches // 3, "device-lost"),
+                FaultEvent(1, "launch", 5, "transient-kernel"),
+                FaultEvent(1, "alloc", 9, "flaky-alloc"),
+            ]
+        )
+        _s, chaos, svc = self._run_pair(jobs, spec, plan)
+        assert all(r.status == "ok" for r in chaos)
+        assert svc.summary().device_faults == 3
+
+    def test_seeded_rate_plan_parity(self, community, planted, spec):
+        jobs = [
+            (community, SolverConfig(window_size=256)),
+            (planted, SolverConfig(window_size=512)),
+        ]
+        plan = FaultPlan.from_rates(
+            17,
+            devices=2,
+            horizon=2000,
+            transient_kernel=0.01,
+            flaky_alloc=0.02,
+            device_lost=0.002,
+        )
+        _s, _t, svc = self._run_pair(
+            jobs,
+            spec,
+            plan,
+            degradation=DegradationPolicy(
+                max_transient_retries=64, max_migrations=16
+            ),
+        )
+        assert svc.summary().device_faults >= 1
+
+    def test_budget_exhaustion_parity(self, community, spec):
+        plan = FaultPlan(
+            [
+                FaultEvent(0, "launch", k, "transient-kernel")
+                for k in (5, 6, 7, 8)
+            ]
+        )
+        _s, chaos, _svc = self._run_pair(
+            [(community, SolverConfig(window_size=256))],
+            spec,
+            plan,
+            devices=1,
+            degradation=DegradationPolicy(max_transient_retries=3),
+        )
+        assert chaos[0].status == "failed"
+        assert chaos[0].transient_retries == 3
+
+
 class TestPoolHealth:
     """The circuit-breaker state machine, driven directly."""
 

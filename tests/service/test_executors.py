@@ -1,0 +1,168 @@
+"""Serial vs threaded batch execution: byte-equivalent, only faster.
+
+The threaded executor must be invisible in everything the service
+reports -- JobRecords (modulo host wall time), the result cache,
+``service.*`` counters, per-device load -- across cache hits,
+degradation, eviction pressure, and tracing. Wall-clock is *not*
+asserted here (it depends on host cores); the throughput benchmark
+reports it.
+"""
+
+import pytest
+
+from repro.core import SolverConfig
+from repro.engine.executor import SerialExecutor, ThreadedExecutor
+from repro.gpusim.spec import DeviceSpec
+from repro.graph import generators as gen
+from repro.service import SolveService
+from repro.trace import JsonTracer
+
+MIB = 1 << 20
+
+TIMING_FIELDS = {"wall_time_s"}
+
+
+def record_sig(record):
+    """Everything in a record except host wall time."""
+    d = record.to_dict()
+    for f in TIMING_FIELDS:
+        d.pop(f, None)
+    return d
+
+
+def summary_sig(service):
+    d = service.summary().to_dict()
+    for f in TIMING_FIELDS:
+        d.pop(f, None)
+    return d
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return [
+        gen.erdos_renyi(120, 0.25, seed=1),
+        gen.planted_clique(200, 8, avg_degree=4.0, seed=2),
+        gen.caveman_social(4, 25, p_in=0.4, seed=3),
+        gen.erdos_renyi(90, 0.3, seed=4),
+    ]
+
+
+def run_batch(jobs, executor, workers=None, **svc_kwargs):
+    svc = SolveService(executor=executor, workers=workers, **svc_kwargs)
+    for graph, config in jobs:
+        svc.submit_graph(graph, config)
+    return svc.run(), svc
+
+
+def assert_equivalent(jobs, workers=2, **svc_kwargs):
+    serial_recs, serial_svc = run_batch(jobs, "serial", **svc_kwargs)
+    threaded_recs, threaded_svc = run_batch(
+        jobs, "threaded", workers=workers, **svc_kwargs
+    )
+    assert [record_sig(r) for r in threaded_recs] == [
+        record_sig(r) for r in serial_recs
+    ]
+    assert summary_sig(threaded_svc) == summary_sig(serial_svc)
+    assert threaded_svc.cache.hits == serial_svc.cache.hits
+    assert threaded_svc.cache.misses == serial_svc.cache.misses
+    assert threaded_svc.cache.evictions == serial_svc.cache.evictions
+    assert threaded_svc.pool.jobs_dispatched == serial_svc.pool.jobs_dispatched
+    for ts, ss in zip(threaded_svc.pool.summary(), serial_svc.pool.summary()):
+        assert ts == ss
+    return serial_recs, threaded_recs
+
+
+class TestThreadedEquivalence:
+    def test_distinct_jobs(self, graphs):
+        jobs = [(g, SolverConfig()) for g in graphs]
+        assert_equivalent(jobs, devices=2)
+
+    def test_duplicates_hit_cache_identically(self, graphs):
+        jobs = [(g, SolverConfig()) for g in graphs for _ in range(2)]
+        serial, threaded = assert_equivalent(jobs, devices=3, workers=3)
+        assert sum(r.cache_hit for r in threaded) == len(graphs)
+
+    def test_windowed_and_mixed_configs(self, graphs):
+        jobs = [
+            (graphs[0], SolverConfig(window_size=64)),
+            (graphs[1], SolverConfig()),
+            (graphs[2], SolverConfig(window_size=32, window_fanout=2)),
+            (graphs[0], SolverConfig(window_size=64)),
+        ]
+        assert_equivalent(jobs, devices=2)
+
+    def test_eviction_pressure_forces_serial_order(self, graphs):
+        # cache smaller than the batch: threaded must take the ordered
+        # path and still match serial eviction-for-eviction
+        jobs = [(g, SolverConfig()) for g in graphs for _ in range(2)]
+        serial_recs, serial_svc = run_batch(jobs, "serial", devices=2, cache_size=2)
+        threaded_recs, threaded_svc = run_batch(
+            jobs, "threaded", workers=2, devices=2, cache_size=2
+        )
+        assert [record_sig(r) for r in threaded_recs] == [
+            record_sig(r) for r in serial_recs
+        ]
+        assert threaded_svc.cache.evictions == serial_svc.cache.evictions
+        assert threaded_svc.cache.evictions > 0
+
+    def test_degradation_ladder_matches(self, graphs):
+        # tiny memory budget: jobs degrade down the ladder identically
+        spec = DeviceSpec(memory_bytes=2 * MIB)
+        jobs = [(g, SolverConfig()) for g in graphs]
+        serial, threaded = assert_equivalent(jobs, devices=2, spec=spec)
+        assert any(r.degraded or r.status != "ok" for r in serial)
+
+    def test_cache_disabled(self, graphs):
+        jobs = [(g, SolverConfig()) for g in graphs for _ in range(2)]
+        assert_equivalent(jobs, devices=2, cache_size=0)
+
+    def test_more_workers_than_devices(self, graphs):
+        jobs = [(g, SolverConfig()) for g in graphs]
+        assert_equivalent(jobs, devices=2, workers=16)
+
+    def test_single_device(self, graphs):
+        jobs = [(g, SolverConfig()) for g in graphs]
+        assert_equivalent(jobs, devices=1, workers=4)
+
+    def test_tracer_runs_match_serial(self, graphs):
+        jobs = [(g, SolverConfig()) for g in graphs[:3]]
+        s_tracer, t_tracer = JsonTracer(), JsonTracer()
+        serial_recs, _ = run_batch(jobs, "serial", devices=2, tracer=s_tracer)
+        threaded_recs, _ = run_batch(
+            jobs, "threaded", workers=2, devices=2, tracer=t_tracer
+        )  # tracer forces the threaded executor onto its ordered path
+        assert [record_sig(r) for r in threaded_recs] == [
+            record_sig(r) for r in serial_recs
+        ]
+        assert t_tracer.counters == s_tracer.counters
+        assert [s.name for s in t_tracer.spans] == [s.name for s in s_tracer.spans]
+
+
+class TestExecutorWiring:
+    def test_default_is_serial(self):
+        assert isinstance(SolveService().executor, SerialExecutor)
+
+    def test_named_executors(self):
+        assert isinstance(
+            SolveService(executor="threaded", workers=3).executor,
+            ThreadedExecutor,
+        )
+        assert isinstance(SolveService(executor="serial").executor, SerialExecutor)
+
+    def test_instance_passthrough(self):
+        ex = ThreadedExecutor(workers=2)
+        assert SolveService(executor=ex).executor is ex
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            SolveService(executor="warp-drive")
+
+    def test_records_land_in_scheduled_order(self, graphs):
+        svc = SolveService(devices=2, executor="threaded", workers=2)
+        ids = [
+            svc.submit_graph(g, SolverConfig(), job_id=f"j{i}")
+            for i, g in enumerate(graphs)
+        ]
+        records = svc.run()
+        assert [r.job_id for r in records] == ids
+        assert [r.job_id for r in svc.records] == ids
