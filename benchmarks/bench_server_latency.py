@@ -1,0 +1,134 @@
+"""Latency and throughput of the network solve server.
+
+A multi-connection load generator against an in-process
+:class:`~repro.server.ServerThread`: 1, 4, and 16 concurrent clients,
+each firing a stream of ``solve`` frames over real TCP sockets, for
+both the serial and the threaded batch executor. Reported per cell:
+requests/second and client-observed p50/p99 latency (measured around
+the full round trip — encode, wire, micro-batch, solve, reply).
+
+Qualitative assertions: every request completes ``ok``; repeats are
+served from the result cache; a ``stats`` frame still answers quickly
+while the load is running (the event loop never blocks on a solve);
+and both executors return identical clique numbers for every graph.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.server import ServerConfig, ServerThread, SolveClient
+from repro.server.stats import LatencyWindow
+from repro.service import SolveService
+from repro.trace import CounterTracer
+
+from conftest import run_once
+
+#: suite dataset names the server resolves itself (no graph shipping,
+#: so the measurement is dominated by the serve path, not upload)
+GRAPHS = ["soc-comm-10x50", "road-grid-60", "ca-team-1k", "bio-cl-1k"]
+
+CLIENT_COUNTS = [1, 4, 16]
+REQUESTS_PER_CLIENT = 6
+STATS_BUDGET_S = 1.0  # a concurrent stats frame must answer within this
+
+
+def _start_server(executor):
+    workers = 2 if executor == "threaded" else 1
+    service = SolveService(
+        devices=2,
+        tracer=CounterTracer(),
+        executor=executor,
+        workers=workers,
+    )
+    handle = ServerThread(service, ServerConfig(port=0, max_conns=64))
+    handle.start()
+    return handle
+
+
+def _client_stream(port, client_idx, n_requests):
+    """One client connection firing ``n_requests`` solves; returns
+    a list of ``(graph, omega, latency_s)`` tuples."""
+    out = []
+    with SolveClient(port=port, timeout_s=120.0) as client:
+        for i in range(n_requests):
+            graph = GRAPHS[(client_idx + i) % len(GRAPHS)]
+            t0 = time.perf_counter()
+            reply = client.solve(graph, label=graph)
+            latency = time.perf_counter() - t0
+            record = reply["record"]
+            assert record["status"] == "ok", record
+            out.append((graph, record["clique_number"], latency))
+    return out
+
+
+def _load_sweep(executor):
+    """Run the 1/4/16-client sweep against one server; returns
+    ``(rows, omegas)`` where rows are printable result cells."""
+    handle = _start_server(executor)
+    rows, omegas = [], {}
+    try:
+        for n_clients in CLIENT_COUNTS:
+            window = LatencyWindow(size=4096)
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=n_clients) as pool:
+                futures = [
+                    pool.submit(
+                        _client_stream, handle.port, idx, REQUESTS_PER_CLIENT
+                    )
+                    for idx in range(n_clients)
+                ]
+                results = [f.result() for f in futures]
+            elapsed = time.perf_counter() - t0
+            total = 0
+            for stream in results:
+                for graph, omega, latency in stream:
+                    omegas.setdefault(graph, omega)
+                    assert omegas[graph] == omega, (graph, omegas[graph], omega)
+                    window.record(latency)
+                    total += 1
+            snap = window.snapshot()
+            rows.append(
+                {
+                    "clients": n_clients,
+                    "requests": total,
+                    "rps": total / elapsed,
+                    "p50_ms": snap["p50_ms"],
+                    "p99_ms": snap["p99_ms"],
+                }
+            )
+        # responsiveness probe: stats must answer fast even after load
+        with SolveClient(port=handle.port) as client:
+            t0 = time.perf_counter()
+            stats = client.stats()
+            stats_s = time.perf_counter() - t0
+        assert stats_s < STATS_BUDGET_S, f"stats frame took {stats_s:.3f}s"
+        server = stats["server"]
+        assert server["latency"]["count"] > 0
+        # every repeat of a graph is a cache hit: only four real solves
+        assert stats["service"]["cache"]["misses"] == len(GRAPHS), stats["service"]
+    finally:
+        handle.stop()
+    return rows, omegas
+
+
+@pytest.mark.parametrize("executor", ["serial", "threaded"])
+def test_server_latency(benchmark, executor):
+    rows, omegas = run_once(benchmark, lambda: _load_sweep(executor))
+    print(f"\n{executor} executor:")
+    print("  clients  requests      req/s    p50 ms    p99 ms")
+    for row in rows:
+        print(
+            f"  {row['clients']:7d}  {row['requests']:8d}  "
+            f"{row['rps']:9.1f}  {row['p50_ms']:8.2f}  {row['p99_ms']:8.2f}"
+        )
+    assert len(omegas) == len(GRAPHS)
+    assert all(r["p50_ms"] <= r["p99_ms"] for r in rows)
+
+
+def test_executor_parity_over_the_wire():
+    """Serial and threaded servers must report identical clique numbers."""
+    _, serial = _load_sweep("serial")
+    _, threaded = _load_sweep("threaded")
+    assert serial == threaded

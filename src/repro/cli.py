@@ -4,6 +4,9 @@
 
     python -m repro solve GRAPH [options]     # find/enumerate maximum cliques
     python -m repro batch JOBS.json [options] # run a job file through the service
+    python -m repro serve [options]           # network solve server (repro-wire/1)
+    python -m repro client solve GRAPH        # solve against a running server
+    python -m repro client stats|shutdown     # server statistics / graceful drain
     python -m repro info GRAPH                # structural statistics
     python -m repro datasets [--category C]   # list the surrogate suite
     python -m repro compare GRAPH             # BF vs PMC vs warp-DFS on one graph
@@ -364,6 +367,211 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(r.ok for r in records) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import ServerConfig, SolveServer
+    from .service import SolveService
+    from .trace import CounterTracer
+
+    if args.workers < 1:
+        raise SystemExit("error: --workers must be at least 1")
+    service = SolveService(
+        devices=args.devices,
+        spec=DeviceSpec(memory_bytes=args.memory_mib * MIB),
+        policy=args.policy,
+        cache_size=args.cache_size,
+        max_attempts=args.max_attempts,
+        default_timeout_s=args.timeout,
+        # counters-only tracer: the stats frame reports service.*
+        # counters without forcing the threaded executor serial
+        tracer=CounterTracer(),
+        executor="threaded" if args.workers > 1 else "serial",
+        workers=args.workers,
+    )
+    from .server import DEFAULT_PORT
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        max_conns=args.max_conns,
+        rate=args.rate,
+        burst=args.burst,
+        queue_depth=args.queue_depth,
+        max_frame_bytes=args.max_frame_mib * MIB,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server = SolveServer(service, config)
+    out.info(
+        f"serve: {args.devices} device(s) x {args.memory_mib} MiB, "
+        f"{args.workers} worker(s), queue depth {args.queue_depth}, "
+        f"rate {'off' if args.rate <= 0 else f'{args.rate:g}/s'}"
+    )
+    try:
+        server.run()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot bind {args.host}:{args.port}: {exc}")
+    summary = service.summary()
+    out.info(
+        f"serve: drained after {summary.total} job(s) "
+        f"({summary.ok} ok, {summary.rejected} rejected, "
+        f"{summary.failed} failed, {summary.cache_hits} cache hit(s))"
+    )
+    return 0
+
+
+def _make_client(args: argparse.Namespace):
+    from .server import DEFAULT_PORT, SolveClient
+
+    return SolveClient(
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        timeout_s=args.wait,
+        retries=args.retries,
+    )
+
+
+def _cmd_client_solve(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, ServerError
+
+    window = args.window
+    if window is not None and window != "auto":
+        window = int(window)
+    config = {
+        "heuristic": args.heuristic,
+        "window_size": window,
+        "window_order": args.window_order,
+        "adaptive_windowing": args.adaptive,
+        "max_cliques_report": max(args.max_report, 1),
+    }
+    # ship local files gzip-compressed inline; anything else is a
+    # dataset name (or server-side path) the server resolves itself
+    if Path(args.graph).exists():
+        graph = _load(args.graph)
+    else:
+        graph = args.graph
+    client = _make_client(args)
+    try:
+        with client:
+            reply = client.solve(
+                graph,
+                config=config,
+                timeout_s=args.timeout,
+                label=args.graph,
+            )
+    except (ServerError, ProtocolError) as exc:
+        code = getattr(exc, "exit_code", 1)
+        out.info(f"error: {exc}")
+        return code if code != 0 else 1
+    record = reply["record"]
+    exit_code = int(reply.get("exit_code", 0))
+    if args.json:
+        import json
+
+        payload = {
+            "clique_number": record["clique_number"],
+            "num_maximum_cliques": record["num_maximum_cliques"],
+            "cliques": reply.get("cliques", [])[: args.max_report],
+            "enumerated_all": record["enumerated_all"],
+            "record": record,
+        }
+        sys.stdout.write(json.dumps(payload, indent=2) + "\n")
+        return exit_code
+    if record["status"] != "ok":
+        out.info(
+            f"job {record['job_id']}: {record['status']} "
+            f"({record.get('error') or record.get('admission_reason')})"
+        )
+        return exit_code
+    tags = "".join(
+        [
+            " (cache)" if record["cache_hit"] else "",
+            " (degraded)" if record["degraded"] else "",
+        ]
+    )
+    out.info(
+        f"omega = {record['clique_number']}, "
+        f"{record['num_maximum_cliques']} maximum clique(s){tags}"
+    )
+    shown = reply.get("cliques", [])[: args.max_report]
+    for row in shown:
+        out.info("  clique: " + " ".join(str(int(v)) for v in row))
+    extra = (record["num_maximum_cliques"] or 0) - len(shown)
+    if extra > 0 and record["enumerated_all"]:
+        out.info(f"  ... and {extra} more maximum clique(s)")
+    out.info(
+        f"  server: attempts={record['attempts']} "
+        f"admission={record['admission']} "
+        f"model={record['model_time_s'] * 1e3:.3f}ms "
+        f"wall={record['wall_time_s'] * 1e3:.1f}ms"
+    )
+    return exit_code
+
+
+def _cmd_client_stats(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, ServerError
+
+    client = _make_client(args)
+    try:
+        with client:
+            stats = client.stats()
+    except (ServerError, ProtocolError) as exc:
+        out.info(f"error: {exc}")
+        return 1
+    if args.json:
+        import json
+
+        sys.stdout.write(json.dumps(stats, indent=2) + "\n")
+        return 0
+    server = stats["server"]
+    service = stats["service"]
+    latency = server["latency"]
+    out.info(
+        f"connections: {server.get('connections_open', 0)} open / "
+        f"{server.get('connections.total', 0)} total; "
+        f"queue depth {server.get('queue_depth', 0)}, "
+        f"in flight {server.get('in_flight', 0)}"
+        f"{' (draining)' if server.get('draining') else ''}"
+    )
+    jobs = service["jobs"]
+    out.info(
+        f"jobs: {jobs['total']} total, {jobs['ok']} ok, "
+        f"{jobs['rejected']} rejected, {jobs['failed']} failed, "
+        f"{jobs['cache_hits']} cache hit(s)"
+    )
+    cache = service["cache"]
+    out.info(
+        f"cache: {cache['hits']} hits / {cache['misses']} misses, "
+        f"{cache['size']}/{cache['capacity']} entries"
+    )
+    out.info(
+        f"latency: p50={latency['p50_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms "
+        f"over {latency['count']} request(s)"
+    )
+    pool = service["pool"]
+    out.info(
+        f"pool: {pool['devices']} device(s), "
+        f"makespan {pool['makespan_model_s'] * 1e3:.3f}ms (model), "
+        f"{pool['device_faults']} fault(s)"
+    )
+    return 0
+
+
+def _cmd_client_shutdown(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, ServerError
+
+    client = _make_client(args)
+    try:
+        with client:
+            bye = client.shutdown()
+    except (ServerError, ProtocolError) as exc:
+        out.info(f"error: {exc}")
+        return 1
+    out.info(
+        f"server draining: {bye.get('in_flight', 0)} in flight, "
+        f"{bye.get('queued', 0)} queued"
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .graph.stats import analyze
 
@@ -529,6 +737,150 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_cmp.add_argument("--memory-mib", type=int, default=192)
     _add_trace_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_serve = sub.add_parser(
+        "serve", help="network solve server (repro-wire/1)"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 7421; 0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="solver worker threads; >1 enables the threaded batch "
+        "executor (default 1)",
+    )
+    p_serve.add_argument(
+        "--max-conns", type=int, default=32,
+        help="concurrent client connections before refusing (default 32)",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=0.0,
+        help="per-connection solve rate limit in requests/second "
+        "(token bucket; 0 disables, the default)",
+    )
+    p_serve.add_argument(
+        "--burst", type=int, default=8,
+        help="token-bucket burst size for --rate (default 8)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded solve queue; beyond it solves get a retriable "
+        "server_busy error (default 64)",
+    )
+    p_serve.add_argument(
+        "--max-frame-mib", type=int, default=8,
+        help="per-frame wire size limit in MiB (default 8)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM/shutdown (default 60)",
+    )
+    p_serve.add_argument(
+        "--devices", type=int, default=1,
+        help="size of the simulated device pool (default 1)",
+    )
+    p_serve.add_argument(
+        "--policy", default="fifo", choices=["fifo", "sef"],
+        help="job ordering inside a micro-batch (default fifo)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="result-cache capacity in entries; 0 disables (default 128)",
+    )
+    p_serve.add_argument(
+        "--memory-mib", type=int, default=192,
+        help="per-device memory budget in MiB (default 192)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-job wall-clock budget (requests may override)",
+    )
+    p_serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per job along the degradation ladder (default 3)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser(
+        "client", help="talk to a running solve server"
+    )
+    client_sub = p_client.add_subparsers(dest="verb", required=True)
+
+    def _add_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--host", default="127.0.0.1",
+            help="server host (default 127.0.0.1)",
+        )
+        p.add_argument(
+            "--port", type=int, default=None,
+            help="server port (default 7421)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=5,
+            help="retries for retriable failures (default 5)",
+        )
+        p.add_argument(
+            "--wait", type=float, default=120.0, metavar="SECONDS",
+            help="socket timeout per reply (default 120)",
+        )
+
+    p_csolve = client_sub.add_parser(
+        "solve", help="solve one graph against the server"
+    )
+    p_csolve.add_argument("graph", help="graph file or suite dataset name")
+    p_csolve.add_argument(
+        "--heuristic",
+        default="multi-degree",
+        choices=["none", "single-degree", "single-core", "multi-degree", "multi-core"],
+        help="lower-bound heuristic (paper Section IV-A)",
+    )
+    p_csolve.add_argument(
+        "--window", default=None,
+        help="window size (int or 'auto') for the windowed search",
+    )
+    p_csolve.add_argument(
+        "--window-order", default="natural",
+        choices=["natural", "asc-degree", "desc-degree"],
+    )
+    p_csolve.add_argument(
+        "--adaptive", action="store_true",
+        help="recursive windowing: split windows that exceed memory",
+    )
+    p_csolve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (exits 3 when exceeded)",
+    )
+    p_csolve.add_argument(
+        "--max-report", type=int, default=20,
+        help="maximum cliques to print (count is always exact)",
+    )
+    p_csolve.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON result instead of text",
+    )
+    _add_client_args(p_csolve)
+    p_csolve.set_defaults(func=_cmd_client_solve)
+
+    p_cstats = client_sub.add_parser(
+        "stats", help="server gauges, latency percentiles, service counters"
+    )
+    p_cstats.add_argument(
+        "--json", action="store_true",
+        help="emit the raw stats frame as JSON",
+    )
+    _add_client_args(p_cstats)
+    p_cstats.set_defaults(func=_cmd_client_stats)
+
+    p_cshut = client_sub.add_parser(
+        "shutdown", help="ask the server to drain and exit"
+    )
+    _add_client_args(p_cshut)
+    p_cshut.set_defaults(func=_cmd_client_shutdown)
 
     args = parser.parse_args(argv)
     configure_logging(args.log_level)

@@ -19,6 +19,8 @@ __all__ = [
     "FlakyAllocError",
     "GraphFormatError",
     "JobSpecError",
+    "ProtocolError",
+    "ServerError",
     "SolverConfigError",
     "SolveTimeoutError",
     "TransientDeviceError",
@@ -167,3 +169,56 @@ class AdmissionRejectedError(ReproError, RuntimeError):
 
 class JobSpecError(ReproError, ValueError):
     """Raised when a batch job file or job specification is invalid."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """Raised when a ``repro-wire/1`` frame cannot be parsed or applied.
+
+    Covers malformed JSON, missing/ill-typed fields, oversized frames,
+    and protocol-version mismatches. The server answers these with an
+    ``error`` frame (see docs/SERVER.md); the client raises them when
+    the *server* sends something unintelligible.
+
+    Attributes
+    ----------
+    code:
+        Machine-readable error code (``bad_frame``,
+        ``frame_too_large``, ``unsupported_protocol``, ...), the same
+        vocabulary error frames carry on the wire.
+    """
+
+    def __init__(self, message: str, code: str = "bad_frame") -> None:
+        self.code = code
+        super().__init__(message)
+
+
+class ServerError(ReproError, RuntimeError):
+    """An ``error`` frame received from the solve server.
+
+    Raised by the client library when the server rejects or fails a
+    request. ``retriable`` mirrors the frame: True means the same
+    request may succeed later (rate limit, full queue, draining
+    server) and the client's backoff loop is allowed to retry it.
+
+    Attributes
+    ----------
+    code:
+        Wire error code (see docs/SERVER.md for the full table).
+    retriable:
+        Whether retrying the identical request can succeed.
+    exit_code:
+        Suggested CLI exit status, reusing the ``repro solve``
+        semantics (2 OOM, 3 timeout, 4 device lost, 1 otherwise).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "internal",
+        retriable: bool = False,
+        exit_code: int = 1,
+    ) -> None:
+        self.code = code
+        self.retriable = bool(retriable)
+        self.exit_code = int(exit_code)
+        super().__init__(message)

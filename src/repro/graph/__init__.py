@@ -18,6 +18,7 @@ from .coloring import (
 from .csr import CSRGraph
 from .io import (
     load_graph,
+    parse_edge_list_text,
     read_dimacs,
     read_edge_list,
     read_mtx,
@@ -38,6 +39,7 @@ __all__ = [
     "relabel_random",
     "induced_subgraph",
     "load_graph",
+    "parse_edge_list_text",
     "read_edge_list",
     "write_edge_list",
     "read_mtx",

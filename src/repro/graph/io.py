@@ -6,10 +6,18 @@ coordinate files (``.mtx``), and DIMACS clique-benchmark files
 (``.clq``/``.col``). The loader plays the role of Gunrock's graph
 loader in the paper's pipeline: parse, normalise to undirected simple
 form, and hand back a CSR.
+
+Every reader and writer transparently handles gzip compression when
+the path carries a ``.gz`` double extension (``graph.edges.gz``,
+``graph.mtx.gz``, ...): the inner extension picks the format, the
+outer one the compression. Remote clients of the solve server ship
+graphs this way (see docs/SERVER.md), so the compressed path is
+first-class, not an afterthought.
 """
 
 from __future__ import annotations
 
+import gzip
 from pathlib import Path
 from typing import Tuple, Union
 
@@ -27,15 +35,31 @@ __all__ = [
     "read_dimacs",
     "write_dimacs",
     "load_graph",
+    "parse_edge_list_text",
 ]
 
 PathLike = Union[str, Path]
 
 
+def _is_gz(path: PathLike) -> bool:
+    return Path(path).suffix.lower() == ".gz"
+
+
 def _read_lines(path: PathLike):
-    with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            yield line
+    opener = gzip.open if _is_gz(path) else open
+    try:
+        with opener(path, "rt", encoding="utf-8") as fh:
+            for line in fh:
+                yield line
+    except (gzip.BadGzipFile, EOFError) as exc:
+        raise GraphFormatError(f"{path}: corrupt gzip stream: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise GraphFormatError(f"{path}: not a text graph file: {exc}") from exc
+
+
+def _open_write(path: PathLike):
+    opener = gzip.open if _is_gz(path) else open
+    return opener(path, "wt", encoding="utf-8")
 
 
 def _int(token: str, path: PathLike, lineno: int, what: str) -> int:
@@ -47,29 +71,41 @@ def _int(token: str, path: PathLike, lineno: int, what: str) -> int:
         ) from exc
 
 
-def read_edge_list(path: PathLike, comment_chars: str = "#%") -> CSRGraph:
-    """Read a whitespace-separated edge list (one ``u v`` pair per line)."""
+def _parse_edge_lines(lines, source, comment_chars: str = "#%") -> CSRGraph:
+    """Shared edge-list parsing core (files and wire payloads)."""
     src = []
     dst = []
-    for lineno, line in enumerate(_read_lines(path), 1):
+    for lineno, line in enumerate(lines, 1):
         s = line.strip()
         if not s or s[0] in comment_chars:
             continue
         parts = s.split()
         if len(parts) < 2:
-            raise GraphFormatError(f"{path}:{lineno}: expected 'u v', got {s!r}")
+            raise GraphFormatError(f"{source}:{lineno}: expected 'u v', got {s!r}")
         try:
             src.append(int(parts[0]))
             dst.append(int(parts[1]))
         except ValueError as exc:
-            raise GraphFormatError(f"{path}:{lineno}: non-integer vertex id") from exc
+            raise GraphFormatError(
+                f"{source}:{lineno}: non-integer vertex id"
+            ) from exc
     return from_edge_array(np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64))
+
+
+def read_edge_list(path: PathLike, comment_chars: str = "#%") -> CSRGraph:
+    """Read a whitespace-separated edge list (one ``u v`` pair per line)."""
+    return _parse_edge_lines(_read_lines(path), path, comment_chars)
+
+
+def parse_edge_list_text(text: str, source: str = "<edge-list>") -> CSRGraph:
+    """Parse edge-list *text* (the solve server's inline graph payload)."""
+    return _parse_edge_lines(text.splitlines(), source)
 
 
 def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
     """Write one ``u v`` pair per undirected edge."""
     src, dst = graph.to_edge_list()
-    with open(path, "w", encoding="utf-8") as fh:
+    with _open_write(path) as fh:
         fh.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
         for u, v in zip(src.tolist(), dst.tolist()):
             fh.write(f"{u} {v}\n")
@@ -128,7 +164,7 @@ def read_mtx(path: PathLike) -> CSRGraph:
 def write_mtx(graph: CSRGraph, path: PathLike) -> None:
     """Write the graph as a symmetric Matrix Market pattern file."""
     src, dst = graph.to_edge_list()
-    with open(path, "w", encoding="utf-8") as fh:
+    with _open_write(path) as fh:
         fh.write("%%MatrixMarket matrix coordinate pattern symmetric\n")
         fh.write(f"{graph.num_vertices} {graph.num_vertices} {src.size}\n")
         for u, v in zip(src.tolist(), dst.tolist()):
@@ -176,16 +212,28 @@ def read_dimacs(path: PathLike) -> CSRGraph:
 def write_dimacs(graph: CSRGraph, path: PathLike) -> None:
     """Write the graph in DIMACS ``p edge`` format."""
     src, dst = graph.to_edge_list()
-    with open(path, "w", encoding="utf-8") as fh:
+    with _open_write(path) as fh:
         fh.write(f"p edge {graph.num_vertices} {src.size}\n")
         for u, v in zip(src.tolist(), dst.tolist()):
             fh.write(f"e {u + 1} {v + 1}\n")
 
 
 def load_graph(path: PathLike) -> CSRGraph:
-    """Load a graph, dispatching on file extension."""
+    """Load a graph, dispatching on file extension.
+
+    A ``.gz`` outer extension selects gzip decompression and the inner
+    extension the format: ``graph.edges.gz`` is a compressed edge list.
+    """
     p = Path(path)
     suffix = p.suffix.lower()
+    if suffix == ".gz":
+        inner = Path(p.stem).suffix.lower()
+        if not inner:
+            raise GraphFormatError(
+                f"{p}: compressed graphs need a double extension "
+                f"(e.g. .edges.gz, .mtx.gz) to pick the format"
+            )
+        suffix = inner
     if suffix == ".mtx":
         return read_mtx(p)
     if suffix in (".clq", ".col", ".dimacs"):

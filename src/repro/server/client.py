@@ -1,0 +1,300 @@
+"""Synchronous ``repro-wire/1`` client with retry and backoff.
+
+:class:`SolveClient` is the blocking counterpart of the asyncio
+server: plain sockets, one request at a time, used by the ``repro
+client`` CLI verbs, the test suite, and the latency benchmark. Two
+failure classes retry automatically with exponential backoff:
+
+* **connection failures** (refused, reset, server restarting) --
+  the client reconnects and replays the handshake;
+* **retriable error frames** (``rate_limited``, ``server_busy``,
+  ``draining``) -- the client sleeps ``retry_after_s`` when the frame
+  names one, else the current backoff, and resends the request.
+
+Non-retriable error frames raise :class:`~repro.errors.ServerError`
+immediately. Solves are pure, so replaying one after an ambiguous
+failure is always safe (at worst it hits the server's result cache).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError, ServerError
+from ..log import get_logger
+from . import protocol
+
+__all__ = ["SolveClient"]
+
+log = get_logger("server.client")
+
+
+class SolveClient:
+    """Blocking client for one solve server.
+
+    Parameters
+    ----------
+    host / port:
+        Server address (``repro serve`` defaults).
+    timeout_s:
+        Socket timeout applied to every read: a solve must answer
+        within this budget (set it above your largest expected solve).
+    retries:
+        How many times a retriable failure (connection error or
+        retriable error frame) is retried before giving up.
+    backoff_s / backoff_max_s:
+        Initial and maximum sleep between retries; doubles each
+        attempt, and a server-supplied ``retry_after_s`` overrides it.
+
+    Usable as a context manager; :meth:`connect` is implicit on first
+    use.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        timeout_s: float = 120.0,
+        retries: int = 5,
+        backoff_s: float = 0.2,
+        backoff_max_s: float = 3.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.max_frame_bytes = max_frame_bytes
+        self.server_hello: Optional[Dict[str, Any]] = None
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> Dict[str, Any]:
+        """Connect (with backoff on refusal) and complete the handshake.
+
+        Returns the server's hello frame.
+        """
+        if self._sock is not None:
+            assert self.server_hello is not None
+            return self.server_hello
+        backoff = self.backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                break
+            except OSError as exc:
+                self._sock = None
+                if attempt >= self.retries:
+                    raise ServerError(
+                        f"cannot connect to {self.host}:{self.port}: {exc}",
+                        code="unreachable",
+                        retriable=True,
+                    ) from exc
+                log.debug(
+                    "connect to %s:%d failed (%s); retrying in %.2fs",
+                    self.host, self.port, exc, backoff,
+                )
+                time.sleep(backoff)
+                backoff = min(backoff * 2, self.backoff_max_s)
+        self._file = self._sock.makefile("rb")
+        try:
+            self._send(
+                {
+                    "type": "hello",
+                    "protocol": protocol.PROTOCOL,
+                    "client": "repro-client",
+                }
+            )
+            hello = self._recv()
+        except (ServerError, ProtocolError):
+            self.close()
+            raise
+        if hello.get("type") != "hello":
+            self.close()
+            raise ProtocolError(
+                f"expected a hello frame, got {hello.get('type')!r}"
+            )
+        if hello.get("protocol") != protocol.PROTOCOL:
+            self.close()
+            raise ProtocolError(
+                f"server speaks {hello.get('protocol')!r}, "
+                f"client needs {protocol.PROTOCOL}",
+                code="unsupported_protocol",
+            )
+        self.server_hello = hello
+        return hello
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self.server_hello = None
+
+    def __enter__(self) -> "SolveClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # wire primitives
+    # ------------------------------------------------------------------
+    def _send(self, frame: Dict[str, Any]) -> None:
+        assert self._sock is not None
+        data = protocol.encode_frame(frame)
+        if len(data) > self.max_frame_bytes:
+            raise ProtocolError(
+                f"frame of {len(data)} B exceeds the "
+                f"{self.max_frame_bytes} B limit",
+                code="frame_too_large",
+            )
+        self._sock.sendall(data)
+
+    def _recv(self) -> Dict[str, Any]:
+        assert self._file is not None
+        line = self._file.readline(self.max_frame_bytes + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        if len(line) > self.max_frame_bytes:
+            raise ProtocolError(
+                "server sent an oversized frame", code="frame_too_large"
+            )
+        frame = protocol.decode_frame(line)
+        if frame.get("type") == "error":
+            retriable, exit_code = protocol.ERROR_CODES.get(
+                frame.get("code", "internal"), (False, 1)
+            )
+            err = ServerError(
+                frame.get("message", "server error"),
+                code=frame.get("code", "internal"),
+                retriable=bool(frame.get("retriable", retriable)),
+                exit_code=int(frame.get("exit_code", exit_code)),
+            )
+            err.retry_after_s = frame.get("retry_after_s")
+            raise err
+        return frame
+
+    def _round_trip(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one frame and read one reply, retrying retriable failures."""
+        backoff = self.backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                self.connect()
+                self._send(frame)
+                return self._recv()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self.close()
+                if attempt >= self.retries:
+                    raise ServerError(
+                        f"connection to {self.host}:{self.port} failed: {exc}",
+                        code="unreachable",
+                        retriable=True,
+                    ) from exc
+                delay = backoff
+            except ServerError as exc:
+                if not exc.retriable or attempt >= self.retries:
+                    raise
+                delay = getattr(exc, "retry_after_s", None) or backoff
+            log.debug(
+                "request retrying in %.2fs (attempt %d/%d)",
+                delay, attempt + 1, self.retries,
+            )
+            time.sleep(delay)
+            backoff = min(backoff * 2, self.backoff_max_s)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        graph,
+        config: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        label: str = "",
+        max_report: Optional[int] = None,
+        **config_kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Solve one graph remotely; returns the ``result`` frame.
+
+        ``graph`` is a :class:`~repro.graph.csr.CSRGraph` (shipped
+        gzip-compressed inline) or a string the *server* resolves (a
+        suite dataset name or a server-side path). ``config`` /
+        ``config_kwargs`` mirror
+        :meth:`repro.service.SolveService.submit_graph`.
+
+        The returned frame's ``record`` is the JSON job record,
+        ``cliques`` the maximum-clique rows, and ``exit_code`` the
+        suggested CLI status. A non-``ok`` record does *not* raise --
+        callers inspect the record just as batch callers do.
+        """
+        if config is not None and config_kwargs:
+            raise ValueError(
+                "pass either a config dict or keyword options, not both"
+            )
+        spec = dict(config) if config is not None else dict(config_kwargs)
+        self._seq += 1
+        frame: Dict[str, Any] = {
+            "type": "solve",
+            "id": f"req-{self._seq}",
+            "graph": protocol.encode_graph(graph),
+        }
+        if spec:
+            frame["config"] = spec
+        if timeout_s is not None:
+            frame["timeout_s"] = timeout_s
+        if label:
+            frame["label"] = label
+        if max_report is not None:
+            frame["max_report"] = max_report
+        reply = self._round_trip(frame)
+        if reply.get("type") != "result":
+            raise ProtocolError(
+                f"expected a result frame, got {reply.get('type')!r}"
+            )
+        return reply
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``stats`` frame (server gauges + service snapshot)."""
+        reply = self._round_trip({"type": "stats"})
+        if reply.get("type") != "stats":
+            raise ProtocolError(
+                f"expected a stats frame, got {reply.get('type')!r}"
+            )
+        return reply
+
+    def status(self, request_id: str) -> Dict[str, Any]:
+        return self._round_trip({"type": "status", "id": request_id})
+
+    def cancel(self, request_id: str) -> Dict[str, Any]:
+        return self._round_trip({"type": "cancel", "id": request_id})
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to drain; returns its ``bye`` frame."""
+        self.connect()
+        self._send({"type": "shutdown"})
+        return self._recv()

@@ -1,0 +1,78 @@
+"""Per-connection token-bucket rate limiting.
+
+Each connection gets its own bucket: ``rate`` tokens per second refill
+up to a ``burst`` capacity, and every ``solve`` frame costs one token.
+An empty bucket answers with a retriable ``rate_limited`` error frame
+carrying ``retry_after_s`` -- the exact time until the next token --
+so well-behaved clients back off precisely instead of hammering.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A classic token bucket on a monotonic clock.
+
+    Parameters
+    ----------
+    rate:
+        Refill rate in tokens/second; ``0`` (or negative) disables
+        limiting entirely -- every acquire succeeds.
+    burst:
+        Bucket capacity: how many requests may land back-to-back
+        before the rate applies.
+    clock:
+        Seconds-returning clock, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    @property
+    def unlimited(self) -> bool:
+        return self.rate <= 0.0
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+
+    def try_acquire(self) -> Tuple[bool, float]:
+        """Take one token if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False,
+        retry_after_s)`` where ``retry_after_s`` is how long until one
+        token will have refilled.
+        """
+        if self.unlimited:
+            return True, 0.0
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after refill); for tests and stats."""
+        if self.unlimited:
+            return float(self.burst)
+        self._refill()
+        return self._tokens

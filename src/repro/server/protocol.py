@@ -1,0 +1,326 @@
+"""The ``repro-wire/1`` protocol: newline-delimited JSON frames.
+
+One frame is one JSON object on one line, UTF-8, terminated by
+``\\n``. The first client frame must be ``hello`` (protocol
+negotiation); after that the client may pipeline ``solve``,
+``status``, ``stats``, ``cancel``, and ``shutdown`` frames and the
+server answers each (``solve`` asynchronously, everything else
+immediately). Server-level failures travel as ``error`` frames whose
+``code``/``retriable``/``exit_code`` fields reuse the existing error
+taxonomy and CLI exit-code semantics (2 OOM, 3 timeout, 4 device
+lost). docs/SERVER.md is the human-readable spec; this module is the
+single source of truth both the server and the client import.
+
+Graph payloads
+--------------
+A ``solve`` frame's ``graph`` field is one of:
+
+* a string -- a surrogate-suite dataset name or server-side file path,
+  resolved exactly like ``repro batch`` job files;
+* ``{"kind": "edges", "edges": [[u, v], ...]}`` -- an inline edge
+  list (small graphs, tests);
+* ``{"kind": "edgelist-gz", "data": "<base64>"}`` -- a gzip-compressed
+  edge-list text, base64-encoded. This is how remote clients ship
+  graphs the server has no file for; it round-trips through the same
+  ``.edges.gz`` machinery as :func:`repro.graph.io.load_graph`.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import gzip
+import io as _io
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.config import SolverConfig
+from ..errors import (
+    GraphFormatError,
+    JobSpecError,
+    ProtocolError,
+    SolverConfigError,
+)
+from ..graph.csr import CSRGraph
+from ..graph.io import parse_edge_list_text
+
+__all__ = [
+    "PROTOCOL",
+    "DEFAULT_PORT",
+    "MAX_FRAME_BYTES",
+    "ERROR_CODES",
+    "encode_frame",
+    "decode_frame",
+    "error_frame",
+    "encode_graph",
+    "decode_graph",
+    "solve_request_from_frame",
+    "result_frame",
+    "exit_code_for_record",
+]
+
+#: Protocol identifier exchanged in ``hello`` frames.
+PROTOCOL = "repro-wire/1"
+
+#: Default TCP port of ``repro serve``.
+DEFAULT_PORT = 7421
+
+#: Default cap on one encoded frame (newline included).
+MAX_FRAME_BYTES = 8 << 20
+
+#: Frame types a client may send after the handshake.
+CLIENT_TYPES = frozenset(
+    {"hello", "solve", "status", "stats", "cancel", "shutdown"}
+)
+
+#: Wire error codes: ``code -> (retriable, exit_code)``. Retriable
+#: means the identical request may succeed later (the client's backoff
+#: loop is allowed to retry); exit_code is the suggested CLI status.
+ERROR_CODES: Dict[str, Tuple[bool, int]] = {
+    "bad_frame": (False, 1),
+    "frame_too_large": (False, 1),
+    "unsupported_protocol": (False, 1),
+    "handshake_required": (False, 1),
+    "unknown_type": (False, 1),
+    "bad_request": (False, 1),
+    "rate_limited": (True, 1),
+    "server_busy": (True, 1),
+    "draining": (True, 1),
+    "too_many_connections": (True, 1),
+    "cancelled": (False, 1),
+    "internal": (False, 1),
+}
+
+_SOLVE_KEYS = frozenset(
+    {"type", "id", "graph", "config", "timeout_s", "label", "max_report"}
+)
+_CONFIG_FIELDS = frozenset(SolverConfig.__dataclass_fields__)
+
+#: record.error prefixes -> CLI exit codes (``repro solve`` semantics)
+_ERROR_EXIT_CODES = {
+    "DeviceOOMError": 2,
+    "SolveTimeoutError": 3,
+    "DeviceLostError": 4,
+}
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    """Serialise one frame to its wire form (compact JSON + newline)."""
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raises :class:`~repro.errors.ProtocolError` (code ``bad_frame``)
+    on malformed JSON, a non-object payload, or a missing/ill-typed
+    ``type`` field. Newline framing survives a bad line, so the caller
+    may keep the connection open after answering with an error frame.
+    """
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame: {exc}", code="bad_frame") from exc
+    if not isinstance(frame, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(frame).__name__}",
+            code="bad_frame",
+        )
+    ftype = frame.get("type")
+    if not isinstance(ftype, str) or not ftype:
+        raise ProtocolError("frame is missing a 'type' string", code="bad_frame")
+    return frame
+
+
+def error_frame(
+    code: str,
+    message: str,
+    request_id: Optional[str] = None,
+    retry_after_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Build an ``error`` frame; unknown codes map to ``internal``."""
+    retriable, exit_code = ERROR_CODES.get(code, ERROR_CODES["internal"])
+    frame: Dict[str, Any] = {
+        "type": "error",
+        "code": code,
+        "message": message,
+        "retriable": retriable,
+        "exit_code": exit_code,
+    }
+    if request_id is not None:
+        frame["id"] = request_id
+    if retry_after_s is not None:
+        frame["retry_after_s"] = round(float(retry_after_s), 6)
+    return frame
+
+
+# ----------------------------------------------------------------------
+# graph payloads
+# ----------------------------------------------------------------------
+def encode_graph(graph) -> Any:
+    """Client-side graph payload: names pass through, CSRs ship compressed."""
+    if isinstance(graph, str):
+        return graph
+    if isinstance(graph, CSRGraph):
+        src, dst = graph.to_edge_list()
+        buf = _io.StringIO()
+        buf.write(f"# |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for u, v in zip(src.tolist(), dst.tolist()):
+            buf.write(f"{u} {v}\n")
+        data = gzip.compress(buf.getvalue().encode("utf-8"))
+        return {
+            "kind": "edgelist-gz",
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+    raise TypeError(f"cannot encode a {type(graph).__name__} as a graph payload")
+
+
+def decode_graph(payload) -> CSRGraph:
+    """Server-side graph payload resolution; ``bad_request`` on failure."""
+    try:
+        if isinstance(payload, str):
+            from ..service.jobs import resolve_graph
+
+            return resolve_graph(payload)
+        if isinstance(payload, dict):
+            kind = payload.get("kind")
+            if kind == "dataset":
+                from ..service.jobs import resolve_graph
+
+                name = payload.get("name")
+                if not isinstance(name, str) or not name:
+                    raise ProtocolError(
+                        "dataset payload needs a 'name' string", code="bad_request"
+                    )
+                return resolve_graph(name)
+            if kind == "edges":
+                edges = payload.get("edges")
+                if not isinstance(edges, list):
+                    raise ProtocolError(
+                        "edges payload needs an 'edges' list", code="bad_request"
+                    )
+                from ..graph.build import from_edge_list
+
+                return from_edge_list([(int(u), int(v)) for u, v in edges])
+            if kind == "edgelist-gz":
+                data = payload.get("data")
+                if not isinstance(data, str):
+                    raise ProtocolError(
+                        "edgelist-gz payload needs a base64 'data' string",
+                        code="bad_request",
+                    )
+                try:
+                    text = gzip.decompress(
+                        base64.b64decode(data, validate=True)
+                    ).decode("utf-8")
+                except (binascii.Error, gzip.BadGzipFile, EOFError,
+                        UnicodeDecodeError, ValueError) as exc:
+                    raise ProtocolError(
+                        f"edgelist-gz payload is corrupt: {exc}",
+                        code="bad_request",
+                    ) from exc
+                return parse_edge_list_text(text, source="<wire>")
+            raise ProtocolError(
+                f"unknown graph payload kind {kind!r}", code="bad_request"
+            )
+    except (JobSpecError, GraphFormatError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad graph payload: {exc}", code="bad_request") from exc
+    raise ProtocolError(
+        f"graph payload must be a string or object, got "
+        f"{type(payload).__name__}",
+        code="bad_request",
+    )
+
+
+# ----------------------------------------------------------------------
+# solve frames <-> service requests
+# ----------------------------------------------------------------------
+def solve_request_from_frame(frame: Dict[str, Any]):
+    """Validate a ``solve`` frame into ``(SolveRequest, max_report)``.
+
+    ``max_report`` caps how many clique rows the *reply* carries; it is
+    not part of the solver configuration (so it never perturbs the
+    result-cache key).
+    """
+    from ..service.request import SolveRequest
+
+    unknown = set(frame) - _SOLVE_KEYS
+    if unknown:
+        raise ProtocolError(
+            f"unknown solve field(s) {sorted(unknown)}", code="bad_request"
+        )
+    if "graph" not in frame:
+        raise ProtocolError("solve frame needs a 'graph'", code="bad_request")
+    graph = decode_graph(frame["graph"])
+
+    config_spec = frame.get("config", {})
+    if not isinstance(config_spec, dict):
+        raise ProtocolError("'config' must be an object", code="bad_request")
+    bad = set(config_spec) - _CONFIG_FIELDS
+    if bad:
+        raise ProtocolError(
+            f"unknown config key(s) {sorted(bad)}", code="bad_request"
+        )
+    try:
+        config = SolverConfig(**config_spec)
+    except (SolverConfigError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"invalid config: {exc}", code="bad_request") from exc
+
+    timeout_s = frame.get("timeout_s")
+    if timeout_s is not None and not isinstance(timeout_s, (int, float)):
+        raise ProtocolError("'timeout_s' must be a number", code="bad_request")
+    label = frame.get("label", "")
+    if not isinstance(label, str):
+        raise ProtocolError("'label' must be a string", code="bad_request")
+    max_report = frame.get("max_report")
+    if max_report is not None and (
+        not isinstance(max_report, int) or max_report < 0
+    ):
+        raise ProtocolError(
+            "'max_report' must be a non-negative integer", code="bad_request"
+        )
+    request = SolveRequest(
+        graph=graph,
+        config=config,
+        timeout_s=timeout_s,
+        label=label,
+    )
+    return request, max_report
+
+
+def result_frame(
+    request_id: Optional[str], record, max_report: Optional[int] = None
+) -> Dict[str, Any]:
+    """Build a ``result`` frame from a finished :class:`JobRecord`.
+
+    The record dict is the same JSON shape ``repro batch --json``
+    emits; clique membership rows ride alongside (capped by
+    ``max_report``) so a remote ``solve`` is byte-comparable with the
+    in-process one.
+    """
+    frame: Dict[str, Any] = {"type": "result", "record": record.to_dict()}
+    if request_id is not None:
+        frame["id"] = request_id
+    if record.result is not None:
+        rows = record.result.cliques
+        if max_report is not None:
+            rows = rows[:max_report]
+        frame["cliques"] = [[int(v) for v in row] for row in rows]
+        frame["exit_code"] = 0 if record.ok else exit_code_for_record(record.to_dict())
+    else:
+        frame["exit_code"] = exit_code_for_record(record.to_dict())
+    return frame
+
+
+def exit_code_for_record(record: Dict[str, Any]) -> int:
+    """CLI exit status for a record dict (``repro solve`` semantics)."""
+    if record.get("status") == "ok":
+        return 0
+    error = record.get("error") or ""
+    for prefix, code in _ERROR_EXIT_CODES.items():
+        if error.startswith(prefix):
+            return code
+    return 1

@@ -1,0 +1,581 @@
+"""The asyncio network front-end over one :class:`SolveService`.
+
+``SolveServer`` speaks ``repro-wire/1`` (newline-delimited JSON; see
+:mod:`repro.server.protocol` and docs/SERVER.md) on a plain TCP
+socket. The event loop only ever parses frames and shuffles bytes --
+every solve runs on the :class:`~repro.server.bridge.SolveBridge`
+worker thread through the existing service stack, so a concurrent
+``stats`` frame answers immediately even while a heavy graph is mid
+search.
+
+Defence layers, outermost first:
+
+1. **connection cap** -- past ``max_conns``, new sockets get one
+   retriable ``too_many_connections`` error frame and are closed;
+2. **frame size limit** -- the stream reader's buffer limit rejects
+   any line over ``max_frame_bytes`` (``frame_too_large``, close --
+   framing cannot be trusted after an oversized blob);
+3. **per-connection token bucket** -- ``solve`` frames past the
+   configured rate get ``rate_limited`` with a precise
+   ``retry_after_s``;
+4. **bounded bridge queue** -- server-level backpressure in front of
+   the service's admission controller (``server_busy``, retriable);
+5. **slow-client write throttling** -- result frames are written
+   under ``writer.drain()`` with bounded transport buffers, so one
+   unread socket stalls only its own connection task.
+
+Graceful drain (SIGTERM, SIGINT, or a ``shutdown`` frame): the
+listener closes, queued jobs fail fast with a retriable ``draining``
+error, the in-flight batch finishes and its results are still
+delivered, then every connection is closed and the server exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from .. import __version__
+from ..errors import ProtocolError, ServerError
+from ..log import get_logger
+from ..trace import CounterTracer
+from . import protocol
+from .bridge import BridgeQueueFull, SolveBridge
+from .limiter import TokenBucket
+from .stats import ServerStats
+
+__all__ = ["ServerConfig", "SolveServer", "ServerThread"]
+
+log = get_logger("server")
+
+
+@dataclass
+class ServerConfig:
+    """Network-layer knobs of one :class:`SolveServer`.
+
+    Everything about *solving* (pool size, memory budget, cache,
+    policy, executor) lives on the :class:`SolveService` the server
+    wraps; this config is only the wire-facing surface.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = protocol.DEFAULT_PORT  #: 0 picks an ephemeral port
+    max_conns: int = 32
+    #: solve frames per second per connection; 0 disables limiting
+    rate: float = 0.0
+    burst: int = 8
+    #: bounded bridge queue depth (server-level backpressure)
+    queue_depth: int = 64
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: seconds to wait for the in-flight batch during a drain
+    drain_timeout_s: float = 60.0
+    #: seconds a fresh connection gets to complete the hello handshake
+    handshake_timeout_s: float = 10.0
+
+
+class _Conn:
+    """Per-connection state: writer lock, rate bucket, job bookkeeping."""
+
+    def __init__(self, cid: int, writer: asyncio.StreamWriter, config: ServerConfig):
+        self.cid = cid
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.bucket = TokenBucket(config.rate, config.burst)
+        #: client request id -> server job id, for outstanding solves
+        self.jobs: Dict[str, str] = {}
+        self.tasks: Set[asyncio.Task] = set()
+        self.closed = False
+
+
+class SolveServer:
+    """Asyncio TCP server bridging ``repro-wire/1`` onto a SolveService."""
+
+    def __init__(self, service, config: Optional[ServerConfig] = None) -> None:
+        self.service = service
+        self.config = config if config is not None else ServerConfig()
+        self.stats = ServerStats()
+        self.bridge = SolveBridge(service, max_queue=self.config.queue_depth)
+        self.port: Optional[int] = None  #: bound port, known after start()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._done: Optional[asyncio.Event] = None
+        self._draining = False
+        self._conns: Set[_Conn] = set()
+        self._next_cid = 0
+        self._next_job = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` is valid afterwards."""
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("serving repro-wire/1 on %s:%d", self.config.host, self.port)
+
+    async def serve_until_drained(self) -> None:
+        """Run until a drain (signal or ``shutdown`` frame) completes."""
+        if self._server is None:
+            await self.start()
+        assert self._done is not None
+        await self._done.wait()
+
+    def run(self, install_signal_handlers: bool = True) -> None:
+        """Blocking entry point used by ``repro serve``."""
+
+        async def _main() -> None:
+            await self.start()
+            if install_signal_handlers:
+                loop = asyncio.get_running_loop()
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    with contextlib.suppress(NotImplementedError):
+                        loop.add_signal_handler(sig, self.begin_drain)
+            await self.serve_until_drained()
+
+        asyncio.run(_main())
+
+    def begin_drain(self) -> None:
+        """Start a graceful drain; idempotent, must run on the loop."""
+        if self._draining:
+            return
+        self._draining = True
+        log.info("drain: stopping listener, rejecting queued jobs")
+        assert self._loop is not None
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        # queued jobs fail fast (retriable error frames go out through
+        # their waiting tasks); the in-flight batch runs to completion
+        completed = await loop.run_in_executor(
+            None, self.bridge.drain, self.config.drain_timeout_s
+        )
+        if not completed:
+            log.warning(
+                "drain: in-flight batch still running after %.1fs",
+                self.config.drain_timeout_s,
+            )
+        # let result frames flush to still-connected clients
+        tasks = [t for conn in list(self._conns) for t in list(conn.tasks)]
+        if tasks:
+            await asyncio.wait(tasks, timeout=self.config.drain_timeout_s)
+        for conn in list(self._conns):
+            await self._close_conn(conn)
+        assert self._done is not None
+        self._done.set()
+        log.info("drain: complete")
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.inc("connections.total")
+        conn = _Conn(self._next_cid, writer, self.config)
+        self._next_cid += 1
+        if self._draining or len(self._conns) >= self.config.max_conns:
+            code = "draining" if self._draining else "too_many_connections"
+            self.stats.inc(f"rejects.{code}")
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(
+                    protocol.encode_frame(
+                        protocol.error_frame(code, f"connection refused: {code}")
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            return
+        # bound the kernel-side write buffer so a slow reader exerts
+        # backpressure on its own drain() instead of growing memory
+        with contextlib.suppress(Exception):
+            writer.transport.set_write_buffer_limits(high=256 * 1024)
+        self._conns.add(conn)
+        try:
+            if await self._handshake(conn, reader):
+                await self._read_loop(conn, reader)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass  # client went away; cleanup below
+        finally:
+            await self._teardown_conn(conn)
+
+    async def _handshake(self, conn: _Conn, reader: asyncio.StreamReader) -> bool:
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), self.config.handshake_timeout_s
+            )
+        except asyncio.TimeoutError:
+            await self._send_error(
+                conn, "handshake_required", "no hello frame before timeout"
+            )
+            return False
+        except ValueError:
+            await self._oversized(conn)
+            return False
+        if not line:
+            return False
+        self.stats.inc("frames.in")
+        try:
+            frame = protocol.decode_frame(line)
+        except ProtocolError as exc:
+            await self._send_error(conn, exc.code, str(exc))
+            return False
+        if frame.get("type") != "hello":
+            await self._send_error(
+                conn,
+                "handshake_required",
+                f"first frame must be hello, got {frame.get('type')!r}",
+            )
+            return False
+        if frame.get("protocol") != protocol.PROTOCOL:
+            await self._send_error(
+                conn,
+                "unsupported_protocol",
+                f"server speaks {protocol.PROTOCOL}, "
+                f"client offered {frame.get('protocol')!r}",
+            )
+            return False
+        await self._send(
+            conn,
+            {
+                "type": "hello",
+                "protocol": protocol.PROTOCOL,
+                "server": f"repro/{__version__}",
+                "max_frame_bytes": self.config.max_frame_bytes,
+            },
+        )
+        return True
+
+    async def _read_loop(self, conn: _Conn, reader: asyncio.StreamReader) -> None:
+        while not conn.closed:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # the stream buffer overflowed: an oversized frame (or
+                # newline-free garbage); framing is unrecoverable
+                await self._oversized(conn)
+                return
+            if not line:
+                return  # EOF
+            self.stats.inc("frames.in")
+            try:
+                frame = protocol.decode_frame(line)
+            except ProtocolError as exc:
+                # newline framing is still intact after a bad line, so
+                # answer and keep the connection
+                self.stats.inc("rejects.bad_frame")
+                await self._send_error(conn, exc.code, str(exc))
+                continue
+            await self._dispatch(conn, frame)
+
+    async def _dispatch(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        ftype = frame["type"]
+        if ftype == "solve":
+            await self._on_solve(conn, frame)
+        elif ftype == "stats":
+            await self._send(conn, self._stats_frame())
+        elif ftype == "status":
+            await self._on_status(conn, frame)
+        elif ftype == "cancel":
+            await self._on_cancel(conn, frame)
+        elif ftype == "shutdown":
+            await self._send(
+                conn,
+                {
+                    "type": "bye",
+                    "in_flight": self.bridge.in_flight,
+                    "queued": self.bridge.queue_depth,
+                },
+            )
+            self.begin_drain()
+        elif ftype == "hello":
+            # a redundant hello is harmless; answer it again
+            await self._send(
+                conn,
+                {
+                    "type": "hello",
+                    "protocol": protocol.PROTOCOL,
+                    "server": f"repro/{__version__}",
+                    "max_frame_bytes": self.config.max_frame_bytes,
+                },
+            )
+        else:
+            self.stats.inc("rejects.unknown_type")
+            await self._send_error(
+                conn,
+                "unknown_type",
+                f"unknown frame type {ftype!r}",
+                request_id=frame.get("id"),
+            )
+
+    # ------------------------------------------------------------------
+    # solve path
+    # ------------------------------------------------------------------
+    async def _on_solve(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        request_id = frame.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            await self._send_error(conn, "bad_request", "'id' must be a string")
+            return
+        if request_id is not None and request_id in conn.jobs:
+            await self._send_error(
+                conn,
+                "bad_request",
+                f"request id {request_id!r} is already in flight "
+                f"on this connection",
+                request_id=request_id,
+            )
+            return
+        if self._draining:
+            self.stats.inc("rejects.draining")
+            await self._send_error(
+                conn, "draining", "server is draining", request_id=request_id
+            )
+            return
+        ok, retry_after = conn.bucket.try_acquire()
+        if not ok:
+            self.stats.inc("rejects.rate_limited")
+            await self._send_error(
+                conn,
+                "rate_limited",
+                f"connection rate limit "
+                f"({self.config.rate:g}/s, burst {self.config.burst}) exceeded",
+                request_id=request_id,
+                retry_after_s=retry_after,
+            )
+            return
+        # graph decode can be MiBs of base64+gzip+parsing: off the loop
+        loop = asyncio.get_running_loop()
+        try:
+            request, max_report = await loop.run_in_executor(
+                None, protocol.solve_request_from_frame, frame
+            )
+        except ProtocolError as exc:
+            self.stats.inc("rejects.bad_request")
+            await self._send_error(conn, exc.code, str(exc), request_id=request_id)
+            return
+        job_id = f"conn{conn.cid}-job{self._next_job}"
+        self._next_job += 1
+        request.job_id = job_id
+        try:
+            future = self.bridge.submit(request)
+        except BridgeQueueFull as exc:
+            self.stats.inc("rejects.server_busy")
+            await self._send_error(
+                conn,
+                "server_busy",
+                str(exc),
+                request_id=request_id,
+                retry_after_s=0.1,
+            )
+            return
+        except ServerError as exc:
+            self.stats.inc(f"rejects.{exc.code}")
+            await self._send_error(conn, exc.code, str(exc), request_id=request_id)
+            return
+        self.stats.inc("solves.accepted")
+        if request_id is not None:
+            conn.jobs[request_id] = job_id
+        t0 = loop.time()
+        task = loop.create_task(
+            self._await_result(conn, request_id, job_id, future, max_report, t0)
+        )
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _await_result(
+        self, conn, request_id, job_id, future, max_report, t0
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            record = await asyncio.wrap_future(future)
+        except ServerError as exc:
+            # queued-but-rejected (drain) or cancelled before running
+            self.stats.inc(f"solves.{exc.code}")
+            await self._send_error(conn, exc.code, str(exc), request_id=request_id)
+            return
+        finally:
+            if request_id is not None:
+                conn.jobs.pop(request_id, None)
+        self.stats.latency.record(loop.time() - t0)
+        self.stats.inc("solves.ok" if record.ok else f"solves.{record.status}")
+        await self._send(conn, protocol.result_frame(request_id, record, max_report))
+
+    # ------------------------------------------------------------------
+    # small frames
+    # ------------------------------------------------------------------
+    async def _on_status(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        request_id = frame.get("id")
+        if not isinstance(request_id, str):
+            await self._send_error(conn, "bad_request", "status needs an 'id' string")
+            return
+        job_id = conn.jobs.get(request_id)
+        state = self.bridge.state(job_id) if job_id is not None else "unknown"
+        await self._send(conn, {"type": "status", "id": request_id, "state": state})
+
+    async def _on_cancel(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        request_id = frame.get("id")
+        if not isinstance(request_id, str):
+            await self._send_error(conn, "bad_request", "cancel needs an 'id' string")
+            return
+        job_id = conn.jobs.get(request_id)
+        cancelled = self.bridge.cancel(job_id) if job_id is not None else False
+        state = self.bridge.state(job_id) if job_id is not None else "unknown"
+        await self._send(
+            conn,
+            {
+                "type": "status",
+                "id": request_id,
+                "state": state,
+                "cancelled": cancelled,
+            },
+        )
+
+    def _stats_frame(self) -> Dict[str, Any]:
+        tracer = getattr(self.service, "tracer", None)
+        if isinstance(tracer, CounterTracer):
+            counters = tracer.counters_snapshot()
+        else:
+            counters = dict(getattr(tracer, "counters", {}) or {})
+        return {
+            "type": "stats",
+            "server": self.stats.snapshot(
+                connections_open=len(self._conns),
+                queue_depth=self.bridge.queue_depth,
+                in_flight=self.bridge.in_flight,
+                draining=self._draining,
+            ),
+            "service": self.service.stats_snapshot(),
+            "counters": counters,
+        }
+
+    # ------------------------------------------------------------------
+    # writing and teardown
+    # ------------------------------------------------------------------
+    async def _send(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        if conn.closed:
+            return
+        data = protocol.encode_frame(frame)
+        try:
+            async with conn.write_lock:
+                conn.writer.write(data)
+                # backpressure point: a slow client stalls only this
+                # coroutine, never the loop or other connections
+                await conn.writer.drain()
+            self.stats.inc("frames.out")
+        except (ConnectionError, OSError):
+            conn.closed = True
+
+    async def _send_error(
+        self,
+        conn: _Conn,
+        code: str,
+        message: str,
+        request_id: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        self.stats.inc("errors.sent")
+        await self._send(
+            conn, protocol.error_frame(code, message, request_id, retry_after_s)
+        )
+
+    async def _oversized(self, conn: _Conn) -> None:
+        self.stats.inc("rejects.frame_too_large")
+        await self._send_error(
+            conn,
+            "frame_too_large",
+            f"frame exceeds max_frame_bytes={self.config.max_frame_bytes}",
+        )
+        await self._close_conn(conn)
+
+    async def _close_conn(self, conn: _Conn) -> None:
+        if conn.closed:
+            self._conns.discard(conn)
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        with contextlib.suppress(ConnectionError, OSError):
+            conn.writer.close()
+
+    async def _teardown_conn(self, conn: _Conn) -> None:
+        """Disconnect cleanup: cancel this connection's queued jobs.
+
+        A mid-solve disconnect must not wedge a worker: still-queued
+        jobs are cancelled outright; a job already inside the service
+        batch runs to completion (its result frame write is a no-op on
+        the closed socket) and its worker returns to the pool.
+        """
+        for job_id in list(conn.jobs.values()):
+            if self.bridge.cancel(job_id):
+                self.stats.inc("solves.cancelled_on_disconnect")
+        for task in list(conn.tasks):
+            task.cancel()
+        await self._close_conn(conn)
+
+
+class ServerThread:
+    """Run a :class:`SolveServer` on a background thread.
+
+    The in-process harness used by the test suite and the latency
+    benchmark: starts the server's event loop on a daemon thread,
+    waits until the port is bound, and drains it on :meth:`stop`.
+
+    >>> handle = ServerThread(SolveService(devices=2))
+    >>> handle.start()
+    >>> client = SolveClient(port=handle.port)
+    ...
+    >>> handle.stop()
+    """
+
+    def __init__(self, service, config: Optional[ServerConfig] = None) -> None:
+        if config is None:
+            config = ServerConfig(port=0)
+        self.server = SolveServer(service, config)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="solve-server", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_until_drained()
+
+        try:
+            asyncio.run(_main())
+        finally:
+            self._ready.set()  # unblock start() even on bind failure
+
+    def start(self, timeout_s: float = 10.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise RuntimeError("server thread failed to start in time")
+        if self.server.port is None:
+            raise RuntimeError("server failed to bind (see log)")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        loop = self.server._loop
+        if loop is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self.server.begin_drain)
+        self._thread.join(timeout_s)
+        self.server.bridge.stop(timeout_s)

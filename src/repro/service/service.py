@@ -33,6 +33,7 @@ decisions, retries, outcomes) -- see docs/OBSERVABILITY.md.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
@@ -189,17 +190,21 @@ class SolveService:
         self._pending: List[SolveRequest] = []
         self._seq = 0
         self._run_wall_s = 0.0
+        #: guards the records log for cross-thread readers
+        #: (:meth:`stats_snapshot` may run while a batch commits)
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
     def submit(self, request: SolveRequest) -> str:
         """Queue a request; returns its (possibly assigned) job id."""
-        if request.job_id is None:
-            request.job_id = f"job-{self._seq}"
-        request.seq = self._seq
-        self._seq += 1
-        self._pending.append(request)
+        with self._stats_lock:
+            if request.job_id is None:
+                request.job_id = f"job-{self._seq}"
+            request.seq = self._seq
+            self._seq += 1
+            self._pending.append(request)
         return request.job_id
 
     def submit_graph(
@@ -244,7 +249,8 @@ class SolveService:
         counters are the same for every executor (records land in
         scheduled order regardless of completion order).
         """
-        batch, self._pending = self._pending, []
+        with self._stats_lock:
+            batch, self._pending = self._pending, []
         ordered = self.scheduler.order(batch)
         t0 = time.perf_counter()
         try:
@@ -275,6 +281,56 @@ class SolveService:
             wall_time_s=self._run_wall_s,
             devices=len(self.pool),
         )
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Thread-safe point-in-time statistics for external readers.
+
+        The supported way for monitoring surfaces (the network
+        server's ``stats`` frame, dashboards, tests) to observe the
+        service without poking its internals: one consistent copy of
+        the job-outcome tallies, the result-cache counters, and the
+        pool's per-device health -- safe to call from any thread while
+        a batch is running.
+        """
+        with self._stats_lock:
+            recs = list(self.records)
+            pending = len(self._pending)
+        by_status: Dict[str, int] = {
+            STATUS_OK: 0, STATUS_REJECTED: 0, STATUS_FAILED: 0
+        }
+        for r in recs:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        return {
+            "jobs": {
+                "total": len(recs),
+                "ok": by_status[STATUS_OK],
+                "rejected": by_status[STATUS_REJECTED],
+                "failed": by_status[STATUS_FAILED],
+                "cache_hits": sum(1 for r in recs if r.cache_hit),
+                "degraded": sum(1 for r in recs if r.degraded),
+                "attempts": sum(r.attempts for r in recs),
+                "transient_retries": sum(r.transient_retries for r in recs),
+                "migrations": sum(r.migrations for r in recs),
+            },
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "evictions": self.cache.evictions,
+                "size": len(self.cache),
+                "capacity": self.cache.capacity,
+            },
+            "pool": {
+                "devices": len(self.pool),
+                "makespan_model_s": self.pool.makespan_model_s,
+                "total_model_s": self.pool.total_model_s,
+                "jobs_dispatched": list(self.pool.jobs_dispatched),
+                "device_faults": sum(h.total_faults for h in self.pool.health),
+                "health": [h.to_dict() for h in self.pool.health],
+            },
+            "pending": pending,
+            "model_time_s": sum(r.model_time_s for r in recs),
+            "wall_time_s": self._run_wall_s,
+        }
 
     def _attempt_ladder(
         self,
@@ -625,7 +681,8 @@ class _BatchPlan:
                     svc.cache.put(self._keys[ticket], record)
             else:
                 svc.tracer.counter("service.jobs.failed")
-        svc.records.append(record)
+        with svc._stats_lock:
+            svc.records.append(record)
         log.debug(
             "job %s: %s%s omega=%s attempts=%d model=%.3f ms",
             record.job_id,

@@ -9,6 +9,7 @@ bit-identical to the pre-tracing implementation.
 from .tracer import (
     NULL_TRACER,
     TRACE_SCHEMA,
+    CounterTracer,
     JsonTracer,
     KernelEventRecord,
     NullTracer,
@@ -19,6 +20,7 @@ from .tracer import (
 __all__ = [
     "Tracer",
     "NullTracer",
+    "CounterTracer",
     "JsonTracer",
     "SpanRecord",
     "KernelEventRecord",

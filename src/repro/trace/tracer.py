@@ -23,6 +23,7 @@ event format for ``chrome://tracing`` / Perfetto.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -151,6 +152,34 @@ class NullTracer(Tracer):
 
 #: Shared default tracer instance (stateless, safe to share).
 NULL_TRACER = NullTracer()
+
+
+class CounterTracer(Tracer):
+    """Thread-safe counters-only tracer for long-lived processes.
+
+    The solve server runs for hours and serves overlapping requests
+    from worker threads, which rules out :class:`JsonTracer` there: it
+    accumulates every span and kernel event forever, and its
+    ``enabled`` flag makes the threaded batch executor fall back to
+    the ordered path (interleaved span streams would be observable).
+    This tracer keeps only the counter map -- exactly what the server's
+    ``stats`` frame reports -- behind a lock, and leaves ``enabled``
+    False so span/kernel hot paths and executor parallelism are
+    untouched.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+
+    def counter(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of every accumulated counter."""
+        with self._lock:
+            return dict(self._counters)
 
 
 class JsonTracer(Tracer):

@@ -132,6 +132,59 @@ class TestDIMACS:
             read_dimacs(path)
 
 
+class TestGzip:
+    @pytest.mark.parametrize(
+        "suffix,writer,reader",
+        [
+            (".edges.gz", write_edge_list, read_edge_list),
+            (".mtx.gz", write_mtx, read_mtx),
+            (".clq.gz", write_dimacs, read_dimacs),
+        ],
+    )
+    def test_round_trip(self, graph, tmp_path, suffix, writer, reader):
+        path = tmp_path / f"g{suffix}"
+        writer(graph, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzip on disk
+        g2 = reader(path)
+        assert g2.num_vertices == graph.num_vertices
+        assert (g2.col_indices == graph.col_indices).all()
+
+    def test_compression_shrinks_large_files(self, tmp_path):
+        big = gen.erdos_renyi(300, 0.2, seed=7)
+        plain = tmp_path / "g.edges"
+        packed = tmp_path / "g.edges.gz"
+        write_edge_list(big, plain)
+        write_edge_list(big, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_corrupt_gzip_rejected(self, tmp_path):
+        path = tmp_path / "g.edges.gz"
+        path.write_bytes(b"\x1f\x8b this is not a gzip stream")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_plain_text_with_gz_name_rejected(self, tmp_path):
+        path = tmp_path / "g.edges.gz"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestParseEdgeListText:
+    def test_parse(self):
+        from repro.graph import parse_edge_list_text
+
+        g = parse_edge_list_text("# header\n0 1\n\n1 2\n% note\n0 2\n")
+        assert g.num_vertices == 3 and g.num_edges == 3
+
+    def test_malformed_text_rejected(self):
+        from repro.graph import parse_edge_list_text
+
+        with pytest.raises(GraphFormatError) as excinfo:
+            parse_edge_list_text("0 1\nbroken\n", source="<unit>")
+        assert "<unit>" in str(excinfo.value)
+
+
 class TestLoadGraph:
     @pytest.mark.parametrize(
         "suffix,writer",
@@ -146,3 +199,26 @@ class TestLoadGraph:
     def test_unknown_extension_rejected(self, tmp_path):
         with pytest.raises(GraphFormatError):
             load_graph(tmp_path / "g.xyz")
+
+    @pytest.mark.parametrize(
+        "suffix,writer",
+        [
+            (".edges.gz", write_edge_list),
+            (".mtx.gz", write_mtx),
+            (".clq.gz", write_dimacs),
+        ],
+    )
+    def test_double_extension_dispatch(self, graph, tmp_path, suffix, writer):
+        path = tmp_path / f"g{suffix}"
+        writer(graph, path)
+        g2 = load_graph(path)
+        assert g2.num_edges == graph.num_edges
+
+    def test_bare_gz_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_graph(tmp_path / "g.gz")
+        assert "double extension" in str(excinfo.value)
+
+    def test_unknown_inner_extension_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError):
+            load_graph(tmp_path / "g.xyz.gz")

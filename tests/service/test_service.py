@@ -354,3 +354,73 @@ class TestTimeout:
         service = SolveService(default_timeout_s=1e-6)
         record = service.solve(community, timeout_s=60.0)
         assert record.status == "ok"
+
+
+class TestStatsSnapshot:
+    def test_fresh_service(self):
+        snap = SolveService(devices=2).stats_snapshot()
+        assert snap["jobs"]["total"] == 0
+        assert snap["pending"] == 0
+        assert snap["cache"] == {
+            "hits": 0, "misses": 0, "evictions": 0, "size": 0, "capacity": 128,
+        }
+        assert snap["pool"]["devices"] == 2
+        assert snap["pool"]["device_faults"] == 0
+        assert len(snap["pool"]["health"]) == 2
+
+    def test_counts_outcomes_and_cache(self, community):
+        service = SolveService()
+        service.solve(community)
+        service.solve(community)  # identical: result-cache hit
+        service.submit_graph(community, config=SolverConfig(heuristic="none"))
+        snap = service.stats_snapshot()
+        assert snap["jobs"]["total"] == 2
+        assert snap["jobs"]["ok"] == 2
+        assert snap["jobs"]["cache_hits"] == 1
+        assert snap["cache"]["hits"] == 1
+        assert snap["cache"]["misses"] == 1
+        assert snap["cache"]["size"] == 1
+        assert snap["pending"] == 1  # the submitted-but-unrun job
+        assert snap["model_time_s"] > 0.0
+
+    def test_snapshot_is_a_copy(self, community):
+        service = SolveService()
+        service.solve(community)
+        snap = service.stats_snapshot()
+        snap["jobs"]["total"] = 999
+        snap["pool"]["health"].clear()
+        fresh = service.stats_snapshot()
+        assert fresh["jobs"]["total"] == 1
+        assert len(fresh["pool"]["health"]) == 1
+
+    def test_concurrent_reads_while_batch_runs(self, community):
+        """stats_snapshot must be callable from another thread mid-run."""
+        import threading
+        import time as _time
+
+        service = SolveService(
+            fault_hook=lambda request, attempt, config: _time.sleep(0.05)
+        )
+        for _ in range(4):
+            service.submit_graph(community)
+        snaps = []
+        stop = threading.Event()
+
+        def _poll():
+            while not stop.is_set():
+                snaps.append(service.stats_snapshot())
+                _time.sleep(0.01)
+
+        poller = threading.Thread(target=_poll)
+        poller.start()
+        try:
+            service.run()
+        finally:
+            stop.set()
+            poller.join(5.0)
+        assert snaps, "poller never ran"
+        totals = [s["jobs"]["total"] for s in snaps]
+        assert totals == sorted(totals)  # monotone, never corrupt
+        final = service.stats_snapshot()
+        assert final["jobs"]["total"] == 4
+        assert final["jobs"]["ok"] == 4
