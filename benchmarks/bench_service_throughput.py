@@ -20,6 +20,7 @@ import os
 
 import pytest
 
+from repro.core import SolverConfig
 from repro.graph import generators as gen
 from repro.service import SolveService
 
@@ -76,6 +77,75 @@ def test_sef_no_worse_makespan_than_fifo():
     assert sef.summary().model_time_s == pytest.approx(
         fifo.summary().model_time_s
     )
+
+
+#: every problem kind requested against the same graph (mixed-kind batch)
+KIND_CONFIGS = [
+    ("max-clique", lambda: SolverConfig()),
+    ("k-clique-count", lambda: SolverConfig(problem="k-clique-count", k=4)),
+    ("maximal-enum", lambda: SolverConfig(problem="maximal-enum")),
+]
+
+
+def _run_mixed_kinds(executor=None, workers=None):
+    service = SolveService(devices=2, executor=executor, workers=workers)
+    for name, build in sorted(GRAPHS.items()):
+        graph = build()
+        for kind_name, make_config in KIND_CONFIGS:
+            for _ in range(REPEATS):
+                service.submit_graph(
+                    graph, make_config(), label=f"{name}/{kind_name}"
+                )
+    records = service.run()
+    return service, records
+
+
+def test_mixed_kind_throughput(benchmark):
+    """Interleaved kinds share the pool and the cache without penalty."""
+    service, records = run_once(benchmark, _run_mixed_kinds)
+    summary = service.summary()
+
+    assert all(r.ok for r in records), [r.error for r in records if not r.ok]
+    # each (graph, kind) pair solves once; every repeat hits its own entry
+    assert summary.cache_hits == len(GRAPHS) * len(KIND_CONFIGS) * (REPEATS - 1)
+    by_kind = {}
+    for r in records:
+        by_kind.setdefault(r.problem, []).append(r)
+    assert set(by_kind) == {k for k, _ in KIND_CONFIGS}
+    assert all(r.k_clique_count is not None for r in by_kind["k-clique-count"])
+    assert all(
+        r.num_maximal_cliques is not None for r in by_kind["maximal-enum"]
+    )
+
+    jobs_per_s = summary.total / summary.wall_time_s
+    kind_ms = {
+        kind: sum(r.model_time_s for r in rs) * 1e3
+        for kind, rs in sorted(by_kind.items())
+    }
+    breakdown = "  ".join(f"{k}={v:.3f}ms" for k, v in kind_ms.items())
+    print(
+        f"\nmixed: {summary.total} jobs ({summary.cache_hits} cached) in "
+        f"{summary.wall_time_s * 1e3:.1f} ms host = {jobs_per_s:,.0f} jobs/s; "
+        f"model per kind: {breakdown}"
+    )
+
+
+def test_mixed_kind_threaded_matches_serial():
+    serial_svc, serial_recs = _run_mixed_kinds()
+    threaded_svc, threaded_recs = _run_mixed_kinds(
+        executor="threaded", workers=2
+    )
+
+    def sig(records):
+        out = []
+        for r in records:
+            d = r.to_dict()
+            d.pop("wall_time_s", None)
+            out.append(d)
+        return out
+
+    assert sig(threaded_recs) == sig(serial_recs)
+    assert threaded_svc.cache.hits == serial_svc.cache.hits
 
 
 def test_serial_vs_threaded_wall_clock():

@@ -3,11 +3,13 @@
 from .bron_kerbosch import (
     bron_kerbosch,
     count_maximal_cliques,
+    maximal_clique_set,
     maximal_cliques,
     maximum_cliques_via_bk,
 )
 from .brute import brute_force_maximum_cliques
 from .gpu_dfs import GPUDFSResult, gpu_dfs_max_clique
+from .kclique import count_k_cliques_reference
 from .pmc import PMCResult, pmc_heuristic, pmc_max_clique
 
 __all__ = [
@@ -16,8 +18,10 @@ __all__ = [
     "PMCResult",
     "bron_kerbosch",
     "maximal_cliques",
+    "maximal_clique_set",
     "count_maximal_cliques",
     "maximum_cliques_via_bk",
+    "count_k_cliques_reference",
     "brute_force_maximum_cliques",
     "gpu_dfs_max_clique",
     "GPUDFSResult",

@@ -15,13 +15,12 @@ from __future__ import annotations
 
 from typing import Iterator, List, Set, Tuple
 
-import numpy as np
-
 from ..graph.csr import CSRGraph
 
 __all__ = [
     "bron_kerbosch",
     "maximal_cliques",
+    "maximal_clique_set",
     "maximum_cliques_via_bk",
     "count_maximal_cliques",
 ]
@@ -82,6 +81,21 @@ def maximal_cliques(graph: CSRGraph) -> List[List[int]]:
 def count_maximal_cliques(graph: CSRGraph) -> int:
     """Number of maximal cliques (Moon-Moser bounds this by 3^(n/3))."""
     return sum(1 for _ in bron_kerbosch(graph))
+
+
+def maximal_clique_set(graph: CSRGraph) -> List[Tuple[int, ...]]:
+    """All maximal cliques as sorted tuples in canonical order.
+
+    Canonical order is (size, lexicographic) -- the exact order the
+    engine's ``problem="maximal-enum"`` kind reports, so the two are
+    directly comparable: the CPU oracle for the GPU enumeration.
+    Isolated vertices appear as singleton cliques, matching the
+    engine's stage-level handling.
+    """
+    return sorted(
+        (tuple(sorted(c)) for c in bron_kerbosch(graph)),
+        key=lambda c: (len(c), c),
+    )
 
 
 def maximum_cliques_via_bk(graph: CSRGraph) -> Tuple[int, List[Tuple[int, ...]]]:

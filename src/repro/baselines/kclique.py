@@ -1,0 +1,65 @@
+"""Combinatorial reference k-clique counter (CPU oracle).
+
+A slow-but-certain counter for ``problem="k-clique-count"``: orient
+the graph by (degree, id) rank and count the k-vertex chains whose
+members are pairwise adjacent, recursing over shrinking candidate
+intersections. This is the textbook ordered-enumeration argument --
+every k-clique has exactly one rank-sorted orientation, so each is
+counted exactly once -- implemented independently of the level-loop
+machinery it validates (no shared code with
+:mod:`repro.core.clique_counts`, which reads the GPU expansion's own
+level sizes).
+
+Intended for tests and ``repro compare``; exponential on dense
+graphs, comfortable on the property-test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["count_k_cliques_reference"]
+
+
+def count_k_cliques_reference(graph: CSRGraph, k: int) -> int:
+    """Exact number of k-cliques in ``graph``.
+
+    ``k=1`` counts vertices and ``k=2`` edges (closed forms); larger
+    ``k`` recurses over rank-oriented neighbour intersections.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    n = graph.num_vertices
+    if k == 1:
+        return n
+    if k == 2:
+        return graph.num_edges
+    if n == 0 or graph.num_edges == 0:
+        return 0
+
+    # rank by (degree, id); forward neighbours are the higher-ranked ones
+    degrees = graph.degrees
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.lexsort((np.arange(n), degrees))] = np.arange(n)
+    fwd: List[np.ndarray] = []
+    for v in range(n):
+        nbrs = graph.neighbors(v)
+        keep = nbrs[rank[nbrs] > rank[v]]
+        fwd.append(np.sort(keep))
+
+    def rec(cand: np.ndarray, size: int) -> int:
+        # `cand` are vertices adjacent to every member chosen so far
+        if size == k - 1:
+            return int(cand.size)
+        total = 0
+        for v in cand.tolist():
+            nxt = np.intersect1d(cand, fwd[v], assume_unique=True)
+            if nxt.size >= k - size - 1:
+                total += rec(nxt, size + 1)
+        return total
+
+    return sum(rec(fwd[v], 1) for v in range(n))

@@ -28,7 +28,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .core.config import SolverConfig
+from .core.config import PROBLEM_KINDS, SolverConfig
 from .core.solver import MaxCliqueSolver
 from .errors import (
     CheckpointError,
@@ -36,6 +36,7 @@ from .errors import (
     DeviceOOMError,
     FaultPlanError,
     JobSpecError,
+    SolverConfigError,
     SolveTimeoutError,
 )
 from .graph.csr import CSRGraph
@@ -98,7 +99,22 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_problem_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--problem",
+        default="max-clique",
+        choices=list(PROBLEM_KINDS),
+        help="problem kind: maximum cliques (default), exact k-clique "
+        "counting (requires --k), or maximal clique enumeration",
+    )
+    p.add_argument(
+        "--k", type=int, default=None, metavar="K",
+        help="clique size for --problem k-clique-count",
+    )
+
+
 def _add_solver_args(p: argparse.ArgumentParser) -> None:
+    _add_problem_args(p)
     p.add_argument(
         "--heuristic",
         default="multi-degree",
@@ -156,6 +172,11 @@ def _checkpoint_round_trip(args: argparse.Namespace, graph, config):
     """
     if args.checkpoint is None:
         return None, None
+    if config.problem != "max-clique":
+        raise SystemExit(
+            "error: --checkpoint is only defined for the max-clique "
+            f"problem kind (got --problem {config.problem})"
+        )
     if not config.windowed:
         raise SystemExit(
             "error: --checkpoint requires a windowed search (set --window)"
@@ -194,14 +215,19 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     window = args.window
     if window is not None and window != "auto":
         window = int(window)
-    config = SolverConfig(
-        heuristic=args.heuristic,
-        window_size=window,
-        window_order=args.window_order,
-        adaptive_windowing=args.adaptive,
-        time_limit_s=args.timeout if args.timeout is not None else args.time_limit,
-        max_cliques_report=max(args.max_report, 1),
-    )
+    try:
+        config = SolverConfig(
+            problem=args.problem,
+            k=args.k,
+            heuristic=args.heuristic,
+            window_size=window,
+            window_order=args.window_order,
+            adaptive_windowing=args.adaptive,
+            time_limit_s=args.timeout if args.timeout is not None else args.time_limit,
+            max_cliques_report=max(args.max_report, 1),
+        )
+    except SolverConfigError as exc:
+        raise SystemExit(f"error: {exc}")
     device = Device(DeviceSpec(memory_bytes=args.memory_mib * MIB))
     tracer = _make_tracer(args)
     checkpoint, checkpoint_sink = _checkpoint_round_trip(args, graph, config)
@@ -239,34 +265,68 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
-        payload = {
-            "clique_number": result.clique_number,
-            "num_maximum_cliques": result.num_maximum_cliques,
-            "cliques": [row.tolist() for row in result.cliques[: args.max_report]],
-            "found_by": result.found_by,
-            "enumerated_all": result.enumerated_all,
-            "heuristic": {
-                "kind": result.heuristic.kind,
-                "lower_bound": result.heuristic.lower_bound,
-            },
+        telemetry = {
             "model_time_s": result.model_time_s,
             "wall_time_s": result.wall_time_s,
             "peak_memory_bytes": result.peak_memory_bytes,
-            "pruned_fraction": result.pruned_fraction,
             "windows": len(result.windows),
             "stage_model_times_s": result.stage_times,
         }
+        if config.problem == "k-clique-count":
+            payload = {
+                "problem": result.problem,
+                "k": result.k,
+                "count": result.count,
+                "found_by": result.found_by,
+                **telemetry,
+            }
+        elif config.problem == "maximal-enum":
+            payload = {
+                "problem": result.problem,
+                "num_maximal_cliques": result.num_maximal_cliques,
+                "max_clique_size": result.max_clique_size,
+                "cliques": [
+                    [int(v) for v in row]
+                    for row in result.cliques[: args.max_report]
+                ],
+                "found_by": result.found_by,
+                "enumerated_all": result.enumerated_all,
+                **telemetry,
+            }
+        else:
+            payload = {
+                "problem": result.problem,
+                "clique_number": result.clique_number,
+                "num_maximum_cliques": result.num_maximum_cliques,
+                "cliques": [row.tolist() for row in result.cliques[: args.max_report]],
+                "found_by": result.found_by,
+                "enumerated_all": result.enumerated_all,
+                "heuristic": {
+                    "kind": result.heuristic.kind,
+                    "lower_bound": result.heuristic.lower_bound,
+                },
+                "pruned_fraction": result.pruned_fraction,
+                **telemetry,
+            }
         # machine-readable output bypasses logging so piping always works
         sys.stdout.write(json.dumps(payload, indent=2) + "\n")
         _export_trace(tracer, args)
         return 0
     out.info(result.summary())
+    if config.problem == "k-clique-count":
+        _export_trace(tracer, args)
+        return 0
     shown = min(args.max_report, len(result.cliques))
     for row in result.cliques[:shown]:
         out.info("  clique: " + " ".join(str(int(v)) for v in row))
-    extra = result.num_maximum_cliques - shown
-    if extra > 0 and result.enumerated_all:
-        out.info(f"  ... and {extra} more maximum clique(s)")
+    if config.problem == "maximal-enum":
+        extra = result.num_maximal_cliques - shown
+        if extra > 0:
+            out.info(f"  ... and {extra} more maximal clique(s)")
+    else:
+        extra = result.num_maximum_cliques - shown
+        if extra > 0 and result.enumerated_all:
+            out.info(f"  ... and {extra} more maximum clique(s)")
     if result.stage_times:
         breakdown = "  ".join(
             f"{name}={t * 1e3:.3f}ms" for name, t in result.stage_times.items()
@@ -337,11 +397,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         sys.stdout.write(json.dumps(payload, indent=2) + "\n")
     else:
         for r in records:
-            figures = (
-                f"omega={r.clique_number} x{r.num_maximum_cliques}"
-                if r.status == "ok"
-                else (r.error or "")
-            )
+            if r.status != "ok":
+                figures = r.error or ""
+            elif r.problem == "k-clique-count":
+                figures = f"count[k={r.k}]={r.k_clique_count}"
+            elif r.problem == "maximal-enum":
+                figures = f"maximal={r.num_maximal_cliques} omega={r.clique_number}"
+            else:
+                figures = f"omega={r.clique_number} x{r.num_maximum_cliques}"
             tags = "".join(
                 [
                     " cache" if r.cache_hit else "",
@@ -442,6 +505,8 @@ def _cmd_client_solve(args: argparse.Namespace) -> int:
         "adaptive_windowing": args.adaptive,
         "max_cliques_report": max(args.max_report, 1),
     }
+    if args.k is not None:
+        config["k"] = args.k
     # ship local files gzip-compressed inline; anything else is a
     # dataset name (or server-side path) the server resolves itself
     if Path(args.graph).exists():
@@ -454,6 +519,7 @@ def _cmd_client_solve(args: argparse.Namespace) -> int:
             reply = client.solve(
                 graph,
                 config=config,
+                problem=args.problem,
                 timeout_s=args.timeout,
                 label=args.graph,
             )
@@ -463,16 +529,34 @@ def _cmd_client_solve(args: argparse.Namespace) -> int:
         return code if code != 0 else 1
     record = reply["record"]
     exit_code = int(reply.get("exit_code", 0))
+    problem = record.get("problem", "max-clique")
     if args.json:
         import json
 
-        payload = {
-            "clique_number": record["clique_number"],
-            "num_maximum_cliques": record["num_maximum_cliques"],
-            "cliques": reply.get("cliques", [])[: args.max_report],
-            "enumerated_all": record["enumerated_all"],
-            "record": record,
-        }
+        if problem == "k-clique-count":
+            payload = {
+                "problem": problem,
+                "k": record["k"],
+                "count": record["k_clique_count"],
+                "record": record,
+            }
+        elif problem == "maximal-enum":
+            payload = {
+                "problem": problem,
+                "num_maximal_cliques": record["num_maximal_cliques"],
+                "max_clique_size": record["clique_number"],
+                "cliques": reply.get("cliques", [])[: args.max_report],
+                "enumerated_all": record["enumerated_all"],
+                "record": record,
+            }
+        else:
+            payload = {
+                "clique_number": record["clique_number"],
+                "num_maximum_cliques": record["num_maximum_cliques"],
+                "cliques": reply.get("cliques", [])[: args.max_report],
+                "enumerated_all": record["enumerated_all"],
+                "record": record,
+            }
         sys.stdout.write(json.dumps(payload, indent=2) + "\n")
         return exit_code
     if record["status"] != "ok":
@@ -487,16 +571,31 @@ def _cmd_client_solve(args: argparse.Namespace) -> int:
             " (degraded)" if record["degraded"] else "",
         ]
     )
-    out.info(
-        f"omega = {record['clique_number']}, "
-        f"{record['num_maximum_cliques']} maximum clique(s){tags}"
-    )
     shown = reply.get("cliques", [])[: args.max_report]
-    for row in shown:
-        out.info("  clique: " + " ".join(str(int(v)) for v in row))
-    extra = (record["num_maximum_cliques"] or 0) - len(shown)
-    if extra > 0 and record["enumerated_all"]:
-        out.info(f"  ... and {extra} more maximum clique(s)")
+    if problem == "k-clique-count":
+        out.info(
+            f"{record['k_clique_count']} {record['k']}-clique(s){tags}"
+        )
+    elif problem == "maximal-enum":
+        out.info(
+            f"{record['num_maximal_cliques']} maximal clique(s), "
+            f"omega = {record['clique_number']}{tags}"
+        )
+        for row in shown:
+            out.info("  clique: " + " ".join(str(int(v)) for v in row))
+        extra = (record["num_maximal_cliques"] or 0) - len(shown)
+        if extra > 0:
+            out.info(f"  ... and {extra} more maximal clique(s)")
+    else:
+        out.info(
+            f"omega = {record['clique_number']}, "
+            f"{record['num_maximum_cliques']} maximum clique(s){tags}"
+        )
+        for row in shown:
+            out.info("  clique: " + " ".join(str(int(v)) for v in row))
+        extra = (record["num_maximum_cliques"] or 0) - len(shown)
+        if extra > 0 and record["enumerated_all"]:
+            out.info(f"  ... and {extra} more maximum clique(s)")
     out.info(
         f"  server: attempts={record['attempts']} "
         f"admission={record['admission']} "
@@ -833,6 +932,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "solve", help="solve one graph against the server"
     )
     p_csolve.add_argument("graph", help="graph file or suite dataset name")
+    _add_problem_args(p_csolve)
     p_csolve.add_argument(
         "--heuristic",
         default="multi-degree",

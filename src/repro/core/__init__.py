@@ -6,7 +6,9 @@ from .clique_counts import clique_profile, count_k_cliques
 from .concurrent import concurrent_windowed_search
 from .clique_list import CliqueList, CliqueListNode
 from .config import (
+    FINGERPRINT_VERSION,
     Heuristic,
+    PROBLEM_KINDS,
     RankKey,
     SolverConfig,
     SublistOrder,
@@ -17,9 +19,12 @@ from .deadline import Deadline, as_deadline
 from .heuristics import multi_run_greedy, run_heuristic, single_run_greedy
 from .result import (
     HeuristicReport,
+    KCliqueCountResult,
     LevelStats,
+    MaximalEnumResult,
     MaxCliqueResult,
     SetupStats,
+    SolveResult,
     WindowStats,
 )
 from .setup import build_two_clique_list, vertex_upper_bounds
@@ -35,7 +40,12 @@ __all__ = [
     "RankKey",
     "SublistOrder",
     "WindowOrder",
+    "PROBLEM_KINDS",
+    "FINGERPRINT_VERSION",
     "MaxCliqueResult",
+    "KCliqueCountResult",
+    "MaximalEnumResult",
+    "SolveResult",
     "HeuristicReport",
     "SetupStats",
     "LevelStats",

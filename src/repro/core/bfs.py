@@ -21,6 +21,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..engine.driver import BFSOutcome, LevelDriver
+from ..engine.problems import ProblemKind
 from ..engine.passes import (
     chunk_slices as _chunk_slices,
     count_pass as _count_pass,
@@ -49,6 +50,7 @@ def bfs_search(
     chunk_pairs: int = 1 << 22,
     early_exit_heuristic: bool = False,
     deadline: Union[None, float, Deadline] = None,
+    kind: Optional[ProblemKind] = None,
 ) -> BFSOutcome:
     """Run Algorithm 2 from a prepared 2-clique list.
 
@@ -81,6 +83,9 @@ def bfs_search(
         :class:`~repro.core.deadline.Deadline`) after which the search
         raises :class:`~repro.errors.SolveTimeoutError` (checked once
         per level).
+    kind:
+        The :class:`~repro.engine.problems.ProblemKind` being solved
+        (default: max-clique).
     """
     driver = LevelDriver(
         graph,
@@ -89,5 +94,6 @@ def bfs_search(
         deadline=as_deadline(deadline, "breadth-first search"),
     )
     return driver.run(
-        src, dst, omega_bar, early_exit_heuristic=early_exit_heuristic
+        src, dst, omega_bar, early_exit_heuristic=early_exit_heuristic,
+        kind=kind,
     )

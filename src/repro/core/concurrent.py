@@ -29,10 +29,11 @@ launches and all.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
+from ..engine.problems import ProblemKind
 from ..engine.sweep import WindowedOutcome, window_sweep
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
@@ -54,6 +55,7 @@ def concurrent_windowed_search(
     window_order: WindowOrder = WindowOrder.NATURAL,
     chunk_pairs: int = 1 << 22,
     deadline: Union[None, float, Deadline] = None,
+    kind: Optional[ProblemKind] = None,
 ) -> WindowedOutcome:
     """Windowed search with ``fanout`` windows in flight at once.
 
@@ -77,4 +79,5 @@ def concurrent_windowed_search(
         chunk_pairs=chunk_pairs,
         deadline=deadline,
         label="concurrent windowed search",
+        kind=kind,
     )

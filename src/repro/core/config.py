@@ -21,8 +21,15 @@ __all__ = [
     "SublistOrder",
     "WindowOrder",
     "SolverConfig",
+    "PROBLEM_KINDS",
+    "FINGERPRINT_VERSION",
     "config_fingerprint",
 ]
+
+#: The problem kinds the platform solves. The engine maps each name
+#: onto a :class:`repro.engine.problems.ProblemKind`; every layer
+#: above (service, wire protocol, CLI) validates against this tuple.
+PROBLEM_KINDS = ("max-clique", "k-clique-count", "maximal-enum")
 
 
 class Heuristic(enum.Enum):
@@ -124,6 +131,16 @@ class SolverConfig:
         it raises :class:`~repro.errors.SolveTimeoutError`.
     seed:
         Seed for the randomised choices (window shuffling).
+    problem:
+        Which problem the level loop solves: ``"max-clique"`` (the
+        paper's maximum clique enumeration, the default),
+        ``"k-clique-count"`` (stop the loop at level ``k`` and return
+        the exact k-clique count; ω̄-pruning disabled), or
+        ``"maximal-enum"`` (emit every clique with no extension --
+        maximal clique enumeration; ω̄-pruning disabled).
+    k:
+        The clique size counted by ``problem="k-clique-count"``;
+        required there and forbidden for the other kinds.
     """
 
     heuristic: Union[Heuristic, str] = Heuristic.MULTI_DEGREE
@@ -141,6 +158,8 @@ class SolverConfig:
     max_cliques_report: int = 10_000
     time_limit_s: Optional[float] = None
     seed: int = 0
+    problem: str = "max-clique"
+    k: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.heuristic, str):
@@ -187,6 +206,36 @@ class SolverConfig:
                 "early_exit_heuristic would miss co-maximum cliques; "
                 "disable enumerate_all to use it"
             )
+        if self.problem not in PROBLEM_KINDS:
+            raise SolverConfigError(
+                f"unknown problem kind {self.problem!r}; supported kinds "
+                f"are {', '.join(PROBLEM_KINDS)}"
+            )
+        if self.problem == "k-clique-count":
+            if (
+                not isinstance(self.k, int)
+                or isinstance(self.k, bool)
+                or self.k < 1
+            ):
+                raise SolverConfigError(
+                    "problem='k-clique-count' requires a positive integer k"
+                )
+        elif self.k is not None:
+            raise SolverConfigError(
+                f"k is only meaningful for problem='k-clique-count' "
+                f"(got problem={self.problem!r})"
+            )
+        if self.problem != "max-clique":
+            # both features are ω̄-bound optimisations: unsound when
+            # every clique (not just the maximum ones) must be visited
+            if self.early_exit_heuristic:
+                raise SolverConfigError(
+                    "early_exit_heuristic applies to max-clique only"
+                )
+            if self.coloring_preprune:
+                raise SolverConfigError(
+                    "coloring_preprune applies to max-clique only"
+                )
 
     @property
     def windowed(self) -> bool:
@@ -197,6 +246,12 @@ class SolverConfig:
 #: long the host takes to produce it -- excluded from fingerprints
 _HOST_ONLY_FIELDS = frozenset({"chunk_pairs", "time_limit_s"})
 
+#: Fingerprint schema version. ``v2`` added the ``problem``/``k``
+#: fields; a fingerprint without this prefix predates problem kinds
+#: and MUST NOT be compared against current ones -- a kind-less
+#: fingerprint would silently collide with ``max-clique`` entries.
+FINGERPRINT_VERSION = "v2"
+
 
 def config_fingerprint(config: SolverConfig) -> str:
     """Canonical string of the result-relevant config fields.
@@ -205,6 +260,12 @@ def config_fingerprint(config: SolverConfig) -> str:
     checkpoints so a checkpoint can never be resumed under a
     configuration that would change the answer. Host-side-only knobs
     (``chunk_pairs``, ``time_limit_s``) are excluded.
+
+    The string is prefixed with :data:`FINGERPRINT_VERSION`. Version
+    ``v2`` includes the ``problem`` kind (and its ``k``), so pre-kind
+    ``v1`` fingerprints -- which described max-clique solves only --
+    never compare equal to any current fingerprint: stale cache keys
+    and checkpoints fail loudly instead of colliding.
     """
     parts = []
     for f in sorted(fields(config), key=lambda f: f.name):
@@ -214,4 +275,4 @@ def config_fingerprint(config: SolverConfig) -> str:
         if isinstance(value, enum.Enum):
             value = value.value
         parts.append(f"{f.name}={value!r}")
-    return ";".join(parts)
+    return FINGERPRINT_VERSION + ";" + ";".join(parts)

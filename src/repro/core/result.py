@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import ClassVar, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -15,6 +15,9 @@ __all__ = [
     "LevelStats",
     "WindowStats",
     "MaxCliqueResult",
+    "KCliqueCountResult",
+    "MaximalEnumResult",
+    "SolveResult",
 ]
 
 
@@ -128,6 +131,9 @@ class MaxCliqueResult:
         solves that ran no pipeline.
     """
 
+    #: problem kind tag shared by every :data:`SolveResult` variant
+    problem: ClassVar[str] = "max-clique"
+
     clique_number: int
     num_maximum_cliques: int
     cliques: np.ndarray
@@ -168,3 +174,105 @@ class MaxCliqueResult:
             f"model_time={self.model_time_s * 1e3:.3f} ms, "
             f"pruned={self.pruned_fraction:.1%}"
         )
+
+
+@dataclass
+class KCliqueCountResult:
+    """Result of a ``problem="k-clique-count"`` solve.
+
+    Attributes
+    ----------
+    k:
+        The clique size that was counted.
+    count:
+        Exact number of k-cliques in the graph (every k-clique appears
+        exactly once at level ``k`` of the unpruned expansion).
+    found_by:
+        ``"search"`` or ``"trivial"`` (k <= 2 or edgeless graphs).
+    setup / levels / windows / candidates_* / *_memory_bytes /
+    device_stats / model_time_s / wall_time_s / stage_times:
+        Same telemetry as :class:`MaxCliqueResult`.
+    """
+
+    problem: ClassVar[str] = "k-clique-count"
+
+    k: int
+    count: int
+    found_by: str = "search"
+    setup: SetupStats = field(default_factory=SetupStats)
+    levels: List[LevelStats] = field(default_factory=list)
+    windows: List[WindowStats] = field(default_factory=list)
+    candidates_stored: int = 0
+    candidates_pruned: int = 0
+    peak_memory_bytes: int = 0
+    search_memory_bytes: int = 0
+    device_stats: Optional[DeviceStats] = None
+    model_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.count} {self.k}-cliques (by {self.found_by}), "
+            f"peak_mem={self.peak_memory_bytes / 2**20:.2f} MiB, "
+            f"model_time={self.model_time_s * 1e3:.3f} ms"
+        )
+
+
+@dataclass
+class MaximalEnumResult:
+    """Result of a ``problem="maximal-enum"`` solve.
+
+    Attributes
+    ----------
+    num_maximal_cliques:
+        Exact number of maximal cliques in the graph (always exact,
+        even when ``cliques`` is capped).
+    max_clique_size:
+        Size of the largest maximal clique found, i.e. ω(G).
+    cliques:
+        Materialised maximal cliques as sorted vertex tuples in
+        canonical (size, lexicographic) order, capped at the config's
+        ``max_cliques_report``.
+    enumerated_all:
+        Whether every maximal clique was materialised into
+        ``cliques`` (False when the cap truncated the list).
+    found_by:
+        ``"search"`` or ``"trivial"`` (empty / edgeless graphs).
+    setup / levels / windows / candidates_* / *_memory_bytes /
+    device_stats / model_time_s / wall_time_s / stage_times:
+        Same telemetry as :class:`MaxCliqueResult`.
+    """
+
+    problem: ClassVar[str] = "maximal-enum"
+
+    num_maximal_cliques: int
+    max_clique_size: int
+    cliques: List[Tuple[int, ...]]
+    enumerated_all: bool
+    found_by: str = "search"
+    setup: SetupStats = field(default_factory=SetupStats)
+    levels: List[LevelStats] = field(default_factory=list)
+    windows: List[WindowStats] = field(default_factory=list)
+    candidates_stored: int = 0
+    candidates_pruned: int = 0
+    peak_memory_bytes: int = 0
+    search_memory_bytes: int = 0
+    device_stats: Optional[DeviceStats] = None
+    model_time_s: float = 0.0
+    wall_time_s: float = 0.0
+    stage_times: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.num_maximal_cliques} maximal cliques "
+            f"(largest {self.max_clique_size}, by {self.found_by}), "
+            f"peak_mem={self.peak_memory_bytes / 2**20:.2f} MiB, "
+            f"model_time={self.model_time_s * 1e3:.3f} ms"
+        )
+
+
+#: Any solve result, tagged by its class-level ``problem`` attribute.
+SolveResult = Union[MaxCliqueResult, KCliqueCountResult, MaximalEnumResult]

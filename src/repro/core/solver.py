@@ -39,8 +39,9 @@ import numpy as np
 from ..gpusim.device import Device
 from ..graph.csr import CSRGraph
 from ..trace import NULL_TRACER, Tracer
+from ..errors import SolverConfigError
 from .config import SolverConfig
-from .result import HeuristicReport, MaxCliqueResult
+from .result import HeuristicReport, MaxCliqueResult, SolveResult
 
 if TYPE_CHECKING:  # pipeline imports this module's package: keep lazy
     from ..pipeline.context import ExecutionContext
@@ -106,8 +107,14 @@ class MaxCliqueSolver:
 
         return default_stages(self.config)
 
-    def solve(self) -> MaxCliqueResult:
+    def solve(self) -> SolveResult:
         """Run the full pipeline and return the result.
+
+        The result type is the kind-tagged variant matching
+        ``config.problem``: :class:`~repro.core.result.MaxCliqueResult`
+        (the default),
+        :class:`~repro.core.result.KCliqueCountResult`, or
+        :class:`~repro.core.result.MaximalEnumResult`.
 
         Raises
         ------
@@ -133,11 +140,20 @@ class MaxCliqueSolver:
         return ctx.result
 
     # ------------------------------------------------------------------
-    def _trivial_result(self, ctx: "ExecutionContext") -> Optional[MaxCliqueResult]:
-        """Handle empty and edgeless graphs without a pipeline run."""
+    def _trivial_result(self, ctx: "ExecutionContext"):
+        """Handle cases solved without a pipeline run.
+
+        Empty and edgeless graphs for every kind, plus the k <= 2
+        closed forms of k-clique counting (k=1 counts vertices, k=2
+        counts edges -- the level loop's root is already level 2).
+        """
         from ..pipeline.stages import build_result
 
         graph = self.graph
+        if self.config.problem == "k-clique-count":
+            return self._trivial_kclique(ctx)
+        if self.config.problem == "maximal-enum":
+            return self._trivial_maximal(ctx)
         if graph.num_vertices == 0:
             ctx.heuristic = HeuristicReport("none", 0, np.zeros(0, dtype=np.int32))
             return build_result(
@@ -162,6 +178,32 @@ class MaxCliqueSolver:
             )
         return None
 
+    def _trivial_kclique(self, ctx: "ExecutionContext"):
+        from ..pipeline.stages import build_kclique_result
+
+        graph, k = self.graph, self.config.k
+        if k == 1:
+            return build_kclique_result(
+                ctx, count=graph.num_vertices, found_by="trivial"
+            )
+        if k == 2:
+            return build_kclique_result(
+                ctx, count=graph.num_edges, found_by="trivial"
+            )
+        if graph.num_vertices == 0 or graph.num_edges == 0:
+            return build_kclique_result(ctx, count=0, found_by="trivial")
+        return None
+
+    def _trivial_maximal(self, ctx: "ExecutionContext"):
+        from ..pipeline.stages import build_maximal_result
+
+        graph = self.graph
+        if graph.num_vertices == 0 or graph.num_edges == 0:
+            # every vertex (if any) is an isolated singleton; the
+            # builder collects them from the degree array
+            return build_maximal_result(ctx, harvested=[], found_by="trivial")
+        return None
+
 
 def find_maximum_cliques(
     graph: CSRGraph,
@@ -179,4 +221,10 @@ def find_maximum_cliques(
         raise ValueError("pass either a config object or keyword options, not both")
     if config is None:
         config = SolverConfig(**config_kwargs)
+    if config.problem != "max-clique":
+        raise SolverConfigError(
+            "find_maximum_cliques solves max-clique only; use "
+            "MaxCliqueSolver (or the service/CLI) for problem="
+            f"{config.problem!r}"
+        )
     return MaxCliqueSolver(graph, config, device, tracer=tracer).solve()

@@ -23,6 +23,7 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from ..engine.problems import ProblemKind
 from ..engine.sweep import (
     WindowedOutcome,
     auto_window_size,
@@ -59,6 +60,7 @@ def windowed_search(
     adaptive: bool = False,
     checkpoint: Optional[SearchCheckpoint] = None,
     checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]] = None,
+    kind: Optional[ProblemKind] = None,
 ) -> WindowedOutcome:
     """Run the sequential windowed variant over a prepared 2-clique list.
 
@@ -100,4 +102,5 @@ def windowed_search(
         checkpoint=checkpoint,
         checkpoint_sink=checkpoint_sink,
         label="windowed search",
+        kind=kind,
     )

@@ -30,6 +30,15 @@ from .executor import (
     resolve_executor,
 )
 from .passes import chunk_slices, count_pass, expand_pairs, output_pass
+from .problems import (
+    MAX_CLIQUE,
+    KCliqueCountKind,
+    KindState,
+    MaximalEnumKind,
+    ProblemKind,
+    merge_state,
+    resolve_kind,
+)
 from .sweep import WindowedOutcome, window_sweep
 
 __all__ = [
@@ -37,6 +46,13 @@ __all__ = [
     "BFSOutcome",
     "WindowedOutcome",
     "window_sweep",
+    "ProblemKind",
+    "KindState",
+    "KCliqueCountKind",
+    "MaximalEnumKind",
+    "MAX_CLIQUE",
+    "resolve_kind",
+    "merge_state",
     "chunk_slices",
     "expand_pairs",
     "count_pass",

@@ -46,7 +46,7 @@ two passes the kernels make.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 
@@ -56,7 +56,8 @@ from ..graph.csr import CSRGraph
 from ..core.clique_list import CliqueList
 from ..core.deadline import Deadline
 from ..core.result import LevelStats
-from .passes import count_pass, output_pass, run_boundaries_host
+from .passes import run_boundaries_host
+from .problems import MAX_CLIQUE, ProblemKind
 
 __all__ = ["BFSOutcome", "Lane", "LevelDriver"]
 
@@ -79,12 +80,16 @@ class BFSOutcome:
         True when the early exit fired: every surviving branch was
         capped at exactly ω̄, so the heuristic clique is a maximum
         clique and ω = ω̄ (the sound form of Algorithm 2 line 36).
+    state:
+        The :class:`~repro.engine.problems.ProblemKind` accumulator
+        for this search (None for the default max-clique kind).
     """
 
     clique_list: CliqueList
     omega: int
     levels: List[LevelStats] = field(default_factory=list)
     stopped_by_heuristic: bool = False
+    state: Any = None
 
     @property
     def candidates_stored(self) -> int:
@@ -106,6 +111,7 @@ class Lane:
     levels: List[LevelStats] = field(default_factory=list)
     done: bool = False
     omega: int = 0
+    state: Any = None
 
 
 class LevelDriver:
@@ -149,19 +155,30 @@ class LevelDriver:
         dst: np.ndarray,
         omega_bar: int,
         early_exit_heuristic: bool = False,
+        kind: Optional[ProblemKind] = None,
     ) -> BFSOutcome:
         """Run the level loop from a prepared 2-clique list.
 
-        On any exception (OOM, timeout, device loss) the partial
-        clique list is freed so retries see the true free budget.
+        ``kind`` selects the problem being solved (default:
+        max-clique); it supplies the kernel bodies, the effective
+        pruning bound, the termination rule, and the per-level
+        harvest. On any exception (OOM, timeout, device loss) the
+        partial clique list is freed so retries see the true free
+        budget.
         """
+        if kind is None:
+            kind = MAX_CLIQUE
         clique_list = CliqueList(self.device)
         levels: List[LevelStats] = []
+        state = kind.new_state()
         if src.size == 0:
-            return BFSOutcome(clique_list=clique_list, omega=0, levels=levels)
+            return BFSOutcome(
+                clique_list=clique_list, omega=0, levels=levels, state=state
+            )
         try:
             return self._isolated_loop(
-                src, dst, omega_bar, clique_list, levels, early_exit_heuristic
+                src, dst, omega_bar, clique_list, levels,
+                early_exit_heuristic, kind, state,
             )
         except BaseException:
             clique_list.free_all()
@@ -175,15 +192,30 @@ class LevelDriver:
         clique_list: CliqueList,
         levels: List[LevelStats],
         early_exit_heuristic: bool,
+        kind: ProblemKind,
+        state: Any,
     ) -> BFSOutcome:
         graph, device = self.graph, self.device
         clique_list.append_root(src, dst)
         lookup_cost = graph.lookup_cost
+        # the kind's view of the bound: identity for max-clique, 0 for
+        # kinds that must visit every clique (0 disables the prune and
+        # the early exit below)
+        bar = kind.effective_bar(omega_bar)
+        early_exit = early_exit_heuristic and kind.allows_early_exit
 
         while True:
             self.deadline.check(f"level {clique_list.depth}")
             node = clique_list.head
             k = node.level
+            if kind.stop_level is not None and k >= kind.stop_level:
+                levels.append(
+                    LevelStats(level=k, candidates=node.size, generated=0, pruned=0)
+                )
+                kind.harvest_stop(clique_list, state)
+                return BFSOutcome(
+                    clique_list=clique_list, omega=k, levels=levels, state=state
+                )
             vertex = node.vertex.a
             sublist = node.sublist.a
             n_threads = vertex.size
@@ -199,12 +231,12 @@ class LevelDriver:
             # CountCliques: per-thread cost = tail * binary-search + 1
             thread_cost = tail.astype(np.float64) * lookup_cost[vertex] + 1.0
             device.launch(thread_cost, name="count_cliques")
-            counts = count_pass(graph, vertex, tail, self.chunk_pairs)
+            counts = kind.count(graph, vertex, tail, self.chunk_pairs)
 
-            # prune new sublists that cannot reach omega_bar
+            # prune new sublists that cannot reach the bound
             generated = int(counts.sum())
-            if omega_bar > 0:
-                prune_mask = (counts + k) < omega_bar
+            if bar > 0:
+                prune_mask = (counts + k) < bar
                 pruned = int(counts[prune_mask].sum())
                 counts[prune_mask] = 0
             else:
@@ -212,11 +244,13 @@ class LevelDriver:
             levels[-1].generated = generated
             levels[-1].pruned = pruned
 
+            kind.on_level(graph, device, clique_list, counts, state)
+
             if (
-                early_exit_heuristic
-                and omega_bar >= 2
+                early_exit
+                and bar >= 2
                 and counts.size
-                and counts.max() + k <= omega_bar
+                and counts.max() + k <= bar
             ):
                 # Sound form of Algorithm 2 line 36: every surviving
                 # branch has count + k == omega_bar exactly (smaller
@@ -226,15 +260,16 @@ class LevelDriver:
                 # allocating the next node.
                 return BFSOutcome(
                     clique_list=clique_list,
-                    omega=omega_bar,
+                    omega=bar,
                     levels=levels,
                     stopped_by_heuristic=True,
+                    state=state,
                 )
 
             offsets, total_new = P.exclusive_scan(device, counts)
             if total_new == 0:
                 return BFSOutcome(
-                    clique_list=clique_list, omega=k, levels=levels
+                    clique_list=clique_list, omega=k, levels=levels, state=state
                 )
 
             # allocate the next node now (the real implementation's
@@ -245,7 +280,7 @@ class LevelDriver:
                 np.empty(total_new, dtype=np.int32),
             )
             device.launch(thread_cost + 1.0, name="output_new_cliques")
-            output_pass(
+            kind.output(
                 graph, vertex, tail, counts, offsets,
                 new_node.vertex.a, new_node.sublist.a, self.chunk_pairs,
             )
@@ -254,11 +289,20 @@ class LevelDriver:
     # fused schedule: a group of lanes, merged launches per level
     # ------------------------------------------------------------------
     def open_lane(
-        self, index: int, start: int, end: int, src: np.ndarray, dst: np.ndarray
+        self,
+        index: int,
+        start: int,
+        end: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        kind: Optional[ProblemKind] = None,
     ) -> Lane:
         """Open one fused-group lane (allocates its root node)."""
+        if kind is None:
+            kind = MAX_CLIQUE
         lane = Lane(
-            index=index, start=start, end=end, clique_list=CliqueList(self.device)
+            index=index, start=start, end=end,
+            clique_list=CliqueList(self.device), state=kind.new_state(),
         )
         if src.size == 0:
             lane.done = True
@@ -271,6 +315,7 @@ class LevelDriver:
         lanes: List[Lane],
         bar: int,
         level_sink: Optional[Callable[[LevelStats], None]] = None,
+        kind: Optional[ProblemKind] = None,
     ) -> None:
         """Advance all lanes' levels together with merged launches.
 
@@ -284,9 +329,28 @@ class LevelDriver:
         The caller owns the lanes' clique lists (frees them after
         harvesting results); this method only fills them.
         """
+        if kind is None:
+            kind = MAX_CLIQUE
         graph, device = self.graph, self.device
         lookup_cost = graph.lookup_cost
+        bar = kind.effective_bar(bar)
         while True:
+            if kind.stop_level is not None:
+                for la in lanes:
+                    if la.done:
+                        continue
+                    node = la.clique_list.head
+                    if node.level >= kind.stop_level:
+                        stats = LevelStats(
+                            level=node.level, candidates=node.size,
+                            generated=0, pruned=0,
+                        )
+                        la.levels.append(stats)
+                        if level_sink is not None:
+                            level_sink(stats)
+                        kind.harvest_stop(la.clique_list, la.state)
+                        la.done = True
+                        la.omega = node.level
             active = [la for la in lanes if not la.done]
             if not active:
                 return
@@ -319,7 +383,7 @@ class LevelDriver:
             for la, tail in zip(active, tails):
                 node = la.clique_list.head
                 k = node.level
-                counts = count_pass(graph, node.vertex.a, tail, self.chunk_pairs)
+                counts = kind.count(graph, node.vertex.a, tail, self.chunk_pairs)
                 generated = int(counts.sum())
                 prune_mask = (counts + k) < bar
                 pruned = int(counts[prune_mask].sum())
@@ -331,6 +395,7 @@ class LevelDriver:
                 la.levels.append(stats)
                 if level_sink is not None:
                     level_sink(stats)
+                kind.on_level(graph, device, la.clique_list, counts, la.state)
                 all_counts.append(counts)
             device.launch(
                 P.SCAN_OPS, n_threads=total_threads, name="exclusive_scan"
@@ -352,7 +417,7 @@ class LevelDriver:
                     np.empty(total_new, dtype=np.int32),
                     np.empty(total_new, dtype=np.int32),
                 )
-                output_pass(
+                kind.output(
                     graph, node.vertex.a, tail, counts, offsets,
                     new_node.vertex.a, new_node.sublist.a, self.chunk_pairs,
                 )

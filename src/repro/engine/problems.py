@@ -1,0 +1,234 @@
+"""Pluggable problem kinds for the level engine.
+
+The paper's count / scan / output level loop is the computational
+shape shared by three problems: maximum clique enumeration (this
+paper), k-clique counting (Almasri et al.), and maximal clique
+enumeration (Almasri/Nagi/Chang) -- see PAPERS.md. A
+:class:`ProblemKind` encapsulates everything that differs between
+them so :class:`~repro.engine.driver.LevelDriver` and
+:func:`~repro.engine.sweep.window_sweep` stay single implementations:
+
+* the **count/output kernel bodies** (``count`` / ``output``; all
+  kinds currently share the paper's passes, but a kind may override
+  them);
+* **ω̄-pruning applicability** (``effective_bar``): max-clique prunes
+  sublists that cannot reach the bound; the counting and enumeration
+  kinds must visit every clique, so their bar is 0 (the driver's
+  pruning block is a no-op at bar 0);
+* the **level-termination rule**: ``stop_level`` stops k-clique
+  counting at level ``k``; the other kinds run until no new cliques
+  are generated;
+* the **per-level harvest** (``on_level`` / ``harvest_stop``):
+  maximal-enum collects zero-extension entries (after a maximality
+  check against the full graph), k-clique counting reads the size of
+  the stopping level;
+* the **result shape**, via the :class:`KindState` accumulator the
+  driver threads through the search and the sweep merges across
+  windows.
+
+``MAX_CLIQUE`` is the default kind and is behaviour-identical to the
+pre-kind driver: identity bar, no stop level, no harvest, the same
+kernels -- the max-clique launch sequence, costs, and results are
+byte-for-byte unchanged.
+
+Maximal-enum correctness: the oriented expansion emits every clique
+of size >= 2 exactly once (as its rank-sorted vertex sequence), and an
+entry whose extension count is 0 has no *forward* extension. Such a
+clique may still be contained in a larger clique through a
+lower-ranked vertex, so each zero-extension entry is verified against
+the full adjacency (a clique is maximal iff no vertex is adjacent to
+all of its members). Singleton maximal cliques (isolated vertices)
+never enter the 2-clique list and are added by the pipeline stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import PROBLEM_KINDS
+from .passes import count_pass, output_pass
+
+__all__ = [
+    "KindState",
+    "ProblemKind",
+    "KCliqueCountKind",
+    "MaximalEnumKind",
+    "MAX_CLIQUE",
+    "resolve_kind",
+    "merge_state",
+    "PROBLEM_KINDS",
+]
+
+
+@dataclass
+class KindState:
+    """Mutable per-search accumulator a :class:`ProblemKind` fills.
+
+    ``count`` is the kind's scalar figure (k-cliques counted, maximal
+    cliques found); ``cliques`` holds harvested cliques as sorted
+    vertex tuples (maximal-enum only).
+    """
+
+    count: int = 0
+    cliques: List[Tuple[int, ...]] = field(default_factory=list)
+
+
+class ProblemKind:
+    """One problem the level loop can solve (default: max-clique).
+
+    Subclasses override the class attributes and hooks; the base class
+    *is* the max-clique kind, and every hook defaults to the behaviour
+    the paper's Algorithm 2 specifies.
+    """
+
+    #: stable identifier; must be a member of ``PROBLEM_KINDS``
+    name = "max-clique"
+    #: whether the ω̄ bound may zero sub-bound sublists
+    prunes = True
+    #: whether the sound early-exit (Algorithm 2 line 36) may fire
+    allows_early_exit = True
+    #: whether windowed checkpoints describe this kind's state
+    supports_checkpoint = True
+    #: stop expanding once the head node reaches this level
+    stop_level: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # kernel bodies (the paper's passes; kinds may substitute their own)
+    # ------------------------------------------------------------------
+    def count(self, graph, vertex, tail, chunk_pairs) -> np.ndarray:
+        """The CountCliques pass body."""
+        return count_pass(graph, vertex, tail, chunk_pairs)
+
+    def output(
+        self, graph, vertex, tail, counts, offsets, new_vertex, new_sublist,
+        chunk_pairs,
+    ) -> None:
+        """The OutputNewCliques pass body."""
+        output_pass(
+            graph, vertex, tail, counts, offsets, new_vertex, new_sublist,
+            chunk_pairs,
+        )
+
+    # ------------------------------------------------------------------
+    # per-search hooks
+    # ------------------------------------------------------------------
+    def new_state(self) -> Optional[KindState]:
+        """Fresh accumulator for one search (None: nothing to collect)."""
+        return None
+
+    def effective_bar(self, omega_bar: int) -> int:
+        """The pruning bound the driver applies (0 disables pruning)."""
+        return omega_bar
+
+    def on_level(self, graph, device, clique_list, counts, state) -> None:
+        """Harvest hook, called after the count pass of every level.
+
+        ``clique_list.head`` is the level being expanded and ``counts``
+        its per-entry extension counts (un-pruned for non-pruning
+        kinds).
+        """
+
+    def harvest_stop(self, clique_list, state) -> None:
+        """Harvest hook, called when ``stop_level`` ends the search."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class KCliqueCountKind(ProblemKind):
+    """Count k-cliques: stop at level ``k``, pruning disabled.
+
+    The clique list's node at level ``k`` holds every k-clique exactly
+    once (the same fact :func:`repro.core.clique_counts.clique_profile`
+    reads level sizes from), so the count is the stopping node's size.
+    """
+
+    name = "k-clique-count"
+    prunes = False
+    allows_early_exit = False
+    supports_checkpoint = False
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.stop_level = int(k)
+
+    def new_state(self) -> KindState:
+        return KindState()
+
+    def effective_bar(self, omega_bar: int) -> int:
+        return 0
+
+    def harvest_stop(self, clique_list, state) -> None:
+        state.count += clique_list.head.size
+
+
+class MaximalEnumKind(ProblemKind):
+    """Enumerate maximal cliques: harvest zero-extension entries.
+
+    Every level's entries with extension count 0 are candidate maximal
+    cliques; each is materialised (Figure 1 back-pointer walk) and kept
+    iff no vertex of the graph is adjacent to all of its members. The
+    verification is charged as one ``check_maximal`` launch with a
+    thread per candidate (each thread intersects the members'
+    adjacency lists, cost ~ level).
+    """
+
+    name = "maximal-enum"
+    prunes = False
+    allows_early_exit = False
+    supports_checkpoint = False
+
+    def new_state(self) -> KindState:
+        return KindState()
+
+    def effective_bar(self, omega_bar: int) -> int:
+        return 0
+
+    def on_level(self, graph, device, clique_list, counts, state) -> None:
+        zero = np.flatnonzero(counts == 0)
+        if zero.size == 0:
+            return
+        level = clique_list.head.level
+        device.launch(
+            float(level), n_threads=int(zero.size), name="check_maximal"
+        )
+        rows = clique_list.read_cliques(entries=zero)
+        for row in rows:
+            members = row.astype(np.int64)
+            common = graph.neighbors(int(members[0]))
+            for v in members[1:]:
+                if common.size == 0:
+                    break
+                common = np.intersect1d(
+                    common, graph.neighbors(int(v)), assume_unique=True
+                )
+            if common.size == 0:
+                state.count += 1
+                state.cliques.append(tuple(int(v) for v in np.sort(members)))
+
+
+#: The default kind: the paper's maximum clique enumeration.
+MAX_CLIQUE = ProblemKind()
+
+
+def resolve_kind(config) -> ProblemKind:
+    """The :class:`ProblemKind` for a :class:`~repro.core.config.SolverConfig`."""
+    if config.problem == "k-clique-count":
+        return KCliqueCountKind(config.k)
+    if config.problem == "maximal-enum":
+        return MaximalEnumKind()
+    if config.problem != "max-clique":  # pragma: no cover - config validates
+        raise ValueError(f"unknown problem kind {config.problem!r}")
+    return MAX_CLIQUE
+
+
+def merge_state(acc: Optional[KindState], part: Any) -> None:
+    """Fold one window's (or lane's) state into the sweep accumulator."""
+    if acc is None or part is None:
+        return
+    acc.count += part.count
+    acc.cliques.extend(part.cliques)

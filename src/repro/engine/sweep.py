@@ -25,7 +25,7 @@ concurrent path is the same sweep under a different launch schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from ..core.config import WindowOrder
 from ..core.deadline import Deadline, as_deadline
 from ..core.result import LevelStats, WindowStats
 from .driver import BFSOutcome, LevelDriver
+from .problems import MAX_CLIQUE, ProblemKind, merge_state
 
 __all__ = [
     "WindowedOutcome",
@@ -50,7 +51,12 @@ __all__ = [
 
 @dataclass
 class WindowedOutcome:
-    """Result of a windowed search (one maximum clique)."""
+    """Result of a windowed search (one maximum clique).
+
+    For non-default problem kinds ``state`` carries the kind's merged
+    accumulator (every window's counts/cliques folded together); the
+    clique fields then describe only the heuristic floor.
+    """
 
     best_clique: np.ndarray
     omega: int
@@ -61,6 +67,7 @@ class WindowedOutcome:
     peak_window_bytes: int = 0
     stopped_by_heuristic: bool = False
     adaptive_splits: int = 0
+    state: Any = None
 
 
 def auto_window_size(
@@ -185,6 +192,7 @@ def window_sweep(
     checkpoint: Optional[SearchCheckpoint] = None,
     checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]] = None,
     label: str = "windowed search",
+    kind: Optional[ProblemKind] = None,
 ) -> WindowedOutcome:
     """Run the windowed search over a prepared 2-clique list.
 
@@ -213,11 +221,22 @@ def window_sweep(
     the latest state in its ``checkpoint`` attribute, with the
     interrupted window first in ``pending``.
     """
+    if kind is None:
+        kind = MAX_CLIQUE
     if fanout < 1:
         raise ValueError("fanout must be at least 1")
     if fanout > 1 and (adaptive or checkpoint is not None or checkpoint_sink is not None):
         raise ValueError(
             "adaptive splitting and checkpoint/resume require fanout == 1"
+        )
+    if not kind.supports_checkpoint and (
+        checkpoint is not None or checkpoint_sink is not None
+    ):
+        # a windows-done checkpoint does not describe the kind's
+        # accumulated state; resuming from one would silently drop
+        # every count/clique harvested before the interruption
+        raise ValueError(
+            f"checkpoint/resume is not defined for problem kind {kind.name!r}"
         )
     if isinstance(window_size, str):
         window_size = auto_window_size(graph, device, src.size)
@@ -228,18 +247,20 @@ def window_sweep(
 
     best_clique = np.asarray(heuristic_clique, dtype=np.int32)
     best = int(best_clique.size) if best_clique.size else max(omega_bar, 0)
-    outcome = WindowedOutcome(best_clique=best_clique, omega=best)
+    outcome = WindowedOutcome(
+        best_clique=best_clique, omega=best, state=kind.new_state()
+    )
 
     if fanout == 1:
         _sequential_sweep(
             driver, src, dst, omega_bar, window_size, best, best_clique,
             outcome, ddl, early_exit_heuristic, adaptive,
-            checkpoint, checkpoint_sink,
+            checkpoint, checkpoint_sink, kind,
         )
     else:
         _fused_sweep(
             driver, src, dst, omega_bar, window_size, fanout, best,
-            best_clique, outcome, ddl,
+            best_clique, outcome, ddl, kind,
         )
     return outcome
 
@@ -258,6 +279,7 @@ def _sequential_sweep(
     adaptive: bool,
     checkpoint: Optional[SearchCheckpoint],
     checkpoint_sink: Optional[Callable[[SearchCheckpoint], None]],
+    kind: ProblemKind,
 ) -> None:
     device = driver.device
 
@@ -297,6 +319,7 @@ def _sequential_sweep(
             result: BFSOutcome = driver.run(
                 src[a:b], dst[a:b], bar,
                 early_exit_heuristic=early_exit_heuristic,
+                kind=kind,
             )
         except DeviceOOMError:
             if not adaptive:
@@ -311,12 +334,14 @@ def _sequential_sweep(
             continue
         except DeviceLostError as exc:
             w_index -= 1  # the interrupted window was not completed
-            exc.checkpoint = snapshot(interrupted=(a, b))
+            if kind.supports_checkpoint:
+                exc.checkpoint = snapshot(interrupted=(a, b))
             raise
         try:
             if result.omega > best and result.clique_list.nodes:
                 best = result.omega
                 best_clique = result.clique_list.read_cliques(limit=1)[0]
+            merge_state(outcome.state, result.state)
             outcome.levels.extend(result.levels)
             outcome.candidates_stored += result.candidates_stored
             outcome.candidates_pruned += result.candidates_pruned
@@ -353,6 +378,7 @@ def _fused_sweep(
     best_clique: np.ndarray,
     outcome: WindowedOutcome,
     ddl: Deadline,
+    kind: ProblemKind,
 ) -> None:
     device = driver.device
 
@@ -371,13 +397,16 @@ def _fused_sweep(
         try:
             for i, (a, b) in enumerate(group):
                 lanes.append(
-                    driver.open_lane(g_start + i, a, b, src[a:b], dst[a:b])
+                    driver.open_lane(
+                        g_start + i, a, b, src[a:b], dst[a:b], kind=kind
+                    )
                 )
-            driver.run_fused(lanes, bar, level_sink=level_sink)
+            driver.run_fused(lanes, bar, level_sink=level_sink, kind=kind)
             for la in lanes:
                 if la.omega > best and la.clique_list.nodes:
                     best = la.omega
                     best_clique = la.clique_list.read_cliques(limit=1)[0]
+                merge_state(outcome.state, la.state)
                 outcome.candidates_stored += la.clique_list.total_candidates
             peak = device.pool.peak_bytes - base
             outcome.peak_window_bytes = max(outcome.peak_window_bytes, peak)

@@ -37,8 +37,14 @@ from ..core.bfs import bfs_search
 from ..core.config import Heuristic, RankKey
 from ..core.config import config_fingerprint as _config_fingerprint
 from ..core.heuristics import run_heuristic
-from ..core.result import MaxCliqueResult, SetupStats
+from ..core.result import (
+    KCliqueCountResult,
+    MaximalEnumResult,
+    MaxCliqueResult,
+    SetupStats,
+)
 from ..core.setup import build_two_clique_list
+from ..engine.problems import resolve_kind
 from ..graph.kcore import core_numbers
 from ..log import get_logger
 from .context import ExecutionContext
@@ -52,6 +58,8 @@ __all__ = [
     "FullSearchStage",
     "WindowedSearchStage",
     "build_result",
+    "build_kclique_result",
+    "build_maximal_result",
     "default_stages",
 ]
 
@@ -154,6 +162,9 @@ class FullSearchStage:
     name = "bfs"
 
     def run(self, ctx: ExecutionContext) -> None:
+        if ctx.config.problem != "max-clique":
+            self._run_kind(ctx)
+            return
         shortcut = self._single_sublist_shortcut(ctx)
         if shortcut is not None:
             ctx.result = shortcut
@@ -217,6 +228,44 @@ class FullSearchStage:
         finally:
             outcome.clique_list.free_all()
 
+    def _run_kind(self, ctx: ExecutionContext) -> None:
+        """Full search for a non-default problem kind.
+
+        The heuristic stage is skipped for these kinds, so
+        ``ctx.omega_bar`` is still the floor of 2 and setup pruned
+        nothing; the kind's ``effective_bar`` (0) disables pruning in
+        the driver as well.
+        """
+        config = ctx.config
+        kind = resolve_kind(config)
+        outcome = bfs_search(
+            ctx.graph,
+            ctx.src,
+            ctx.dst,
+            ctx.omega_bar,
+            ctx.device,
+            chunk_pairs=config.chunk_pairs,
+            deadline=ctx.deadline,
+            kind=kind,
+        )
+        try:
+            self._record_counters(ctx, outcome)
+            common = dict(
+                levels=outcome.levels,
+                stored=outcome.candidates_stored,
+                search_mem=outcome.clique_list.total_bytes,
+            )
+            if config.problem == "k-clique-count":
+                ctx.result = build_kclique_result(
+                    ctx, count=outcome.state.count, **common
+                )
+            else:
+                ctx.result = build_maximal_result(
+                    ctx, harvested=outcome.state.cliques, **common
+                )
+        finally:
+            outcome.clique_list.free_all()
+
     def _single_sublist_shortcut(self, ctx: ExecutionContext):
         """Paper Section IV-C: skip the exact search when pruning left
         exactly one sublist of length ω̄ - 1.
@@ -266,6 +315,9 @@ class WindowedSearchStage:
     name = "windowed"
 
     def run(self, ctx: ExecutionContext) -> None:
+        if ctx.config.problem != "max-clique":
+            self._run_kind(ctx)
+            return
         config, heuristic = ctx.config, ctx.heuristic
         if config.window_fanout > 1:
             if ctx.checkpoint is not None or ctx.checkpoint_sink is not None:
@@ -351,6 +403,77 @@ class WindowedSearchStage:
             search_mem=outcome.peak_window_bytes,
         )
 
+    def _run_kind(self, ctx: ExecutionContext) -> None:
+        """Windowed sweep for a non-default problem kind.
+
+        Every window's accumulator is merged by the sweep, so the
+        union over windows is exact (each clique is rooted in exactly
+        one window). Checkpoint/resume is refused: a windows-done
+        checkpoint does not capture the kind's accumulated state, so
+        resuming from one would silently drop already-harvested
+        counts/cliques.
+        """
+        config = ctx.config
+        if ctx.checkpoint is not None or ctx.checkpoint_sink is not None:
+            from ..errors import CheckpointError
+
+            raise CheckpointError(
+                "checkpoint/resume is only defined for the max-clique "
+                f"problem kind (got problem={config.problem!r})"
+            )
+        kind = resolve_kind(config)
+        no_clique = np.zeros(0, dtype=np.int32)
+        if config.window_fanout > 1:
+            from ..core.concurrent import concurrent_windowed_search
+
+            outcome = concurrent_windowed_search(
+                ctx.graph,
+                ctx.src,
+                ctx.dst,
+                ctx.omega_bar,
+                no_clique,
+                ctx.device,
+                window_size=config.window_size,
+                fanout=config.window_fanout,
+                window_order=config.window_order,
+                chunk_pairs=config.chunk_pairs,
+                deadline=ctx.deadline,
+                kind=kind,
+            )
+        else:
+            from ..core.windowed import windowed_search
+
+            outcome = windowed_search(
+                ctx.graph,
+                ctx.src,
+                ctx.dst,
+                ctx.omega_bar,
+                no_clique,
+                ctx.device,
+                window_size=config.window_size,
+                window_order=config.window_order,
+                chunk_pairs=config.chunk_pairs,
+                deadline=ctx.deadline,
+                adaptive=config.adaptive_windowing,
+                kind=kind,
+            )
+        FullSearchStage._record_counters(ctx, outcome)
+        ctx.tracer.counter("search.windows", len(outcome.windows))
+        common = dict(
+            levels=outcome.levels,
+            windows=outcome.windows,
+            stored=outcome.candidates_stored,
+            search_mem=outcome.peak_window_bytes,
+        )
+        if config.problem == "k-clique-count":
+            ctx.result = build_kclique_result(
+                ctx, count=outcome.state.count, **common
+            )
+        else:
+            ctx.result = build_maximal_result(
+                ctx, harvested=outcome.state.cliques, **common
+            )
+
     @staticmethod
     def _stamped_sink(ctx: ExecutionContext):
         """Wrap the context's sink to stamp graph/config fingerprints.
@@ -413,13 +536,95 @@ def build_result(
     )
 
 
+def build_kclique_result(
+    ctx: ExecutionContext,
+    count,
+    found_by="search",
+    levels=None,
+    windows=None,
+    stored=0,
+    search_mem=0,
+) -> KCliqueCountResult:
+    """Assemble a :class:`KCliqueCountResult` from the context's state.
+
+    Mirrors :func:`build_result`'s telemetry capture (``stage_times``
+    attached by reference, per-solve peak/model-time deltas).
+    """
+    device = ctx.device
+    return KCliqueCountResult(
+        k=int(ctx.config.k),
+        count=int(count),
+        found_by=found_by,
+        setup=ctx.setup_stats if ctx.setup_stats is not None else SetupStats(),
+        levels=levels if levels is not None else [],
+        windows=windows if windows is not None else [],
+        candidates_stored=int(stored),
+        candidates_pruned=0,
+        peak_memory_bytes=device.pool.peak_bytes - ctx.base_mem,
+        search_memory_bytes=int(search_mem),
+        device_stats=device.stats(),
+        model_time_s=device.model_time_s - ctx.m0,
+        wall_time_s=time.perf_counter() - ctx.t0,
+        stage_times=ctx.stage_times,
+    )
+
+
+def build_maximal_result(
+    ctx: ExecutionContext,
+    harvested,
+    found_by="search",
+    levels=None,
+    windows=None,
+    stored=0,
+    search_mem=0,
+) -> MaximalEnumResult:
+    """Assemble a :class:`MaximalEnumResult` from the context's state.
+
+    ``harvested`` is the engine's accumulated clique list (sorted
+    vertex tuples, sizes >= 2). Isolated vertices are singleton
+    maximal cliques that never enter the 2-clique list, so they are
+    added here; the combined set is put in canonical (size,
+    lexicographic) order and capped at ``max_cliques_report`` (the
+    total count stays exact).
+    """
+    device = ctx.device
+    singles = [(int(v),) for v in np.flatnonzero(ctx.graph.degrees == 0)]
+    ordered = sorted(singles + list(harvested), key=lambda c: (len(c), c))
+    total = len(ordered)
+    cap = ctx.config.max_cliques_report
+    return MaximalEnumResult(
+        num_maximal_cliques=total,
+        max_clique_size=len(ordered[-1]) if ordered else 0,
+        cliques=ordered[:cap],
+        enumerated_all=total <= cap,
+        found_by=found_by,
+        setup=ctx.setup_stats if ctx.setup_stats is not None else SetupStats(),
+        levels=levels if levels is not None else [],
+        windows=windows if windows is not None else [],
+        candidates_stored=int(stored),
+        candidates_pruned=0,
+        peak_memory_bytes=device.pool.peak_bytes - ctx.base_mem,
+        search_memory_bytes=int(search_mem),
+        device_stats=device.stats(),
+        model_time_s=device.model_time_s - ctx.m0,
+        wall_time_s=time.perf_counter() - ctx.t0,
+        stage_times=ctx.stage_times,
+    )
+
+
 def default_stages(config) -> List[Stage]:
-    """The paper's pipeline for the given configuration."""
+    """The pipeline for the given configuration.
+
+    The heuristic stage exists to raise the ω̄ pruning bound, which
+    only the max-clique kind may use -- the counting and enumeration
+    kinds must visit every clique, so their pipelines skip it (the
+    setup stage then builds the 2-clique list at the ω̄ = 2 floor,
+    pruning nothing).
+    """
     search: Stage = WindowedSearchStage() if config.windowed else FullSearchStage()
-    return [
-        CSRResidencyStage(),
-        PreprocessStage(),
-        HeuristicStage(),
-        TwoCliqueSetupStage(),
-        search,
-    ]
+    stages: List[Stage] = [CSRResidencyStage(), PreprocessStage()]
+    if config.problem == "max-clique":
+        stages.append(HeuristicStage())
+    stages.append(TwoCliqueSetupStage())
+    stages.append(search)
+    return stages

@@ -234,6 +234,7 @@ class SolveClient:
         self,
         graph,
         config: Optional[Dict[str, Any]] = None,
+        problem: Optional[str] = None,
         timeout_s: Optional[float] = None,
         label: str = "",
         max_report: Optional[int] = None,
@@ -245,24 +246,43 @@ class SolveClient:
         gzip-compressed inline) or a string the *server* resolves (a
         suite dataset name or a server-side path). ``config`` /
         ``config_kwargs`` mirror
-        :meth:`repro.service.SolveService.submit_graph`.
+        :meth:`repro.service.SolveService.submit_graph`. ``problem``
+        selects the problem kind (``"max-clique"``,
+        ``"k-clique-count"`` -- pair it with ``k=...`` --
+        ``"maximal-enum"``); it is checked against the kinds the
+        server's hello advertised, so asking for one the server lacks
+        raises a non-retriable ``unsupported_problem``
+        :class:`~repro.errors.ServerError` without a round trip.
 
         The returned frame's ``record`` is the JSON job record,
-        ``cliques`` the maximum-clique rows, and ``exit_code`` the
-        suggested CLI status. A non-``ok`` record does *not* raise --
-        callers inspect the record just as batch callers do.
+        ``cliques`` the clique membership rows (absent for counting
+        kinds), and ``exit_code`` the suggested CLI status. A
+        non-``ok`` record does *not* raise -- callers inspect the
+        record just as batch callers do.
         """
         if config is not None and config_kwargs:
             raise ValueError(
                 "pass either a config dict or keyword options, not both"
             )
         spec = dict(config) if config is not None else dict(config_kwargs)
+        if problem is not None:
+            hello = self.connect()
+            advertised = hello.get("problems")
+            if isinstance(advertised, list) and problem not in advertised:
+                raise ServerError(
+                    f"server does not solve problem kind {problem!r} "
+                    f"(advertised: {advertised})",
+                    code="unsupported_problem",
+                    retriable=False,
+                )
         self._seq += 1
         frame: Dict[str, Any] = {
             "type": "solve",
             "id": f"req-{self._seq}",
             "graph": protocol.encode_graph(graph),
         }
+        if problem is not None:
+            frame["problem"] = problem
         if spec:
             frame["config"] = spec
         if timeout_s is not None:

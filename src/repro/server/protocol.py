@@ -34,7 +34,7 @@ import io as _io
 import json
 from typing import Any, Dict, Optional, Tuple
 
-from ..core.config import SolverConfig
+from ..core.config import PROBLEM_KINDS, SolverConfig
 from ..errors import (
     GraphFormatError,
     JobSpecError,
@@ -49,9 +49,11 @@ __all__ = [
     "DEFAULT_PORT",
     "MAX_FRAME_BYTES",
     "ERROR_CODES",
+    "SUPPORTED_PROBLEMS",
     "encode_frame",
     "decode_frame",
     "error_frame",
+    "hello_frame",
     "encode_graph",
     "decode_graph",
     "solve_request_from_frame",
@@ -61,6 +63,10 @@ __all__ = [
 
 #: Protocol identifier exchanged in ``hello`` frames.
 PROTOCOL = "repro-wire/1"
+
+#: Problem kinds this server build can solve, advertised in the hello
+#: reply's ``problems`` list so clients can fail fast locally.
+SUPPORTED_PROBLEMS = tuple(PROBLEM_KINDS)
 
 #: Default TCP port of ``repro serve``.
 DEFAULT_PORT = 7421
@@ -83,6 +89,9 @@ ERROR_CODES: Dict[str, Tuple[bool, int]] = {
     "handshake_required": (False, 1),
     "unknown_type": (False, 1),
     "bad_request": (False, 1),
+    #: the server build does not solve the requested problem kind --
+    #: retrying the identical request can never succeed
+    "unsupported_problem": (False, 1),
     "rate_limited": (True, 1),
     "server_busy": (True, 1),
     "draining": (True, 1),
@@ -92,7 +101,8 @@ ERROR_CODES: Dict[str, Tuple[bool, int]] = {
 }
 
 _SOLVE_KEYS = frozenset(
-    {"type", "id", "graph", "config", "timeout_s", "label", "max_report"}
+    {"type", "id", "graph", "problem", "config", "timeout_s", "label",
+     "max_report"}
 )
 _CONFIG_FIELDS = frozenset(SolverConfig.__dataclass_fields__)
 
@@ -155,6 +165,22 @@ def error_frame(
     if retry_after_s is not None:
         frame["retry_after_s"] = round(float(retry_after_s), 6)
     return frame
+
+
+def hello_frame(max_frame_bytes: int, server: str) -> Dict[str, Any]:
+    """The server's hello reply: protocol id plus capability advert.
+
+    ``problems`` lists the problem kinds this build solves so a client
+    can reject an unsupported ``problem`` locally instead of burning a
+    round trip on a guaranteed ``unsupported_problem`` error.
+    """
+    return {
+        "type": "hello",
+        "protocol": PROTOCOL,
+        "server": server,
+        "max_frame_bytes": max_frame_bytes,
+        "problems": list(SUPPORTED_PROBLEMS),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -259,10 +285,31 @@ def solve_request_from_frame(frame: Dict[str, Any]):
     config_spec = frame.get("config", {})
     if not isinstance(config_spec, dict):
         raise ProtocolError("'config' must be an object", code="bad_request")
+    config_spec = dict(config_spec)
     bad = set(config_spec) - _CONFIG_FIELDS
     if bad:
         raise ProtocolError(
             f"unknown config key(s) {sorted(bad)}", code="bad_request"
+        )
+    problem = frame.get("problem")
+    if problem is not None:
+        if not isinstance(problem, str):
+            raise ProtocolError("'problem' must be a string", code="bad_request")
+        if "problem" in config_spec:
+            raise ProtocolError(
+                "'problem' given both as a solve field and a config key; "
+                "use one",
+                code="bad_request",
+            )
+        config_spec["problem"] = problem
+    requested = config_spec.get("problem")
+    if requested is not None and requested not in SUPPORTED_PROBLEMS:
+        # distinct, non-retriable code: the request is well-formed but
+        # names a kind this server build cannot solve
+        raise ProtocolError(
+            f"unsupported problem kind {requested!r}; this server solves "
+            f"{sorted(SUPPORTED_PROBLEMS)}",
+            code="unsupported_problem",
         )
     try:
         config = SolverConfig(**config_spec)
@@ -304,8 +351,11 @@ def result_frame(
     frame: Dict[str, Any] = {"type": "result", "record": record.to_dict()}
     if request_id is not None:
         frame["id"] = request_id
-    if record.result is not None:
-        rows = record.result.cliques
+    # k-clique-count results carry no membership rows at all; maximal
+    # enumeration rows are tuples rather than arrays -- both normalise
+    # to plain int lists here
+    rows = getattr(record.result, "cliques", None)
+    if rows is not None:
         if max_report is not None:
             rows = rows[:max_report]
         frame["cliques"] = [[int(v) for v in row] for row in rows]

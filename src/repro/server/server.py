@@ -251,12 +251,9 @@ class SolveServer:
             return False
         await self._send(
             conn,
-            {
-                "type": "hello",
-                "protocol": protocol.PROTOCOL,
-                "server": f"repro/{__version__}",
-                "max_frame_bytes": self.config.max_frame_bytes,
-            },
+            protocol.hello_frame(
+                self.config.max_frame_bytes, f"repro/{__version__}"
+            ),
         )
         return True
 
@@ -306,12 +303,9 @@ class SolveServer:
             # a redundant hello is harmless; answer it again
             await self._send(
                 conn,
-                {
-                    "type": "hello",
-                    "protocol": protocol.PROTOCOL,
-                    "server": f"repro/{__version__}",
-                    "max_frame_bytes": self.config.max_frame_bytes,
-                },
+                protocol.hello_frame(
+                    self.config.max_frame_bytes, f"repro/{__version__}"
+                ),
             )
         else:
             self.stats.inc("rejects.unknown_type")

@@ -86,12 +86,26 @@ def estimate_memory(graph: CSRGraph, config: Optional[SolverConfig] = None) -> M
     entry per oriented edge, and the breadth-first levels grow that
     root by a Moon-Moser factor of the average sublist tail (the full
     search never frees a level, Section II-D).
+
+    The estimate is kind-aware: a ``k-clique-count`` solve stops its
+    level loop at level ``k``, so its expansion is the depth-truncated
+    per-level growth ``(1 + avg_tail)^(k-2)`` (never more than the
+    open-ended Moon-Moser bound); ``maximal-enum`` runs the same
+    unbounded expansion as ``max-clique`` (Moon-Moser is already the
+    no-pruning bound).
     """
     n = max(graph.num_vertices, 1)
     m = graph.num_edges  # oriented 2-cliques: one per undirected edge
     two_clique = BYTES_PER_CANDIDATE * m
     avg_tail = max(m / n - 1.0, 0.0)
     expansion = float(3.0 ** (min(avg_tail, _TAIL_CAP) / 3.0))
+    if config is not None and config.problem == "k-clique-count":
+        k = int(config.k if config.k is not None else 3)
+        if k <= 2:
+            truncated = 1.0  # closed form, no level loop runs
+        else:
+            truncated = float((1.0 + min(avg_tail, _TAIL_CAP)) ** min(k - 2, 32))
+        expansion = min(expansion, truncated)
     return MemoryEstimate(
         csr_bytes=graph.nbytes,
         working_bytes=WORKING_BYTES_PER_VERTEX * graph.num_vertices,

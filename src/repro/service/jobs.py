@@ -8,21 +8,31 @@ A jobs file is JSON -- either a bare list of job objects or
     {
       "id": "social-1",
       "graph": "soc-comm-10x50",
+      "problem": "k-clique-count",
       "priority": 1,
       "timeout_s": 10.0,
-      "config": {"heuristic": "multi-degree", "window_size": 1024}
+      "config": {"heuristic": "multi-degree", "window_size": 1024, "k": 4}
     }
 
 ``graph`` (required) is a file path or a surrogate-suite dataset name,
 resolved exactly as the CLI resolves positional graph arguments.
 ``config`` keys are :class:`~repro.core.config.SolverConfig` field
 names, passed through verbatim (so everything the programmatic API
-accepts is expressible). ``defaults`` supplies fallback values for
-``priority`` / ``timeout_s`` / ``config`` entries merged under each
-job's own. Unknown keys anywhere raise
-:class:`~repro.errors.JobSpecError` -- silent typos in a batch file
-are worse than a loud failure. See docs/SERVICE.md for the full
-schema.
+accepts is expressible). ``problem`` is a convenience alias for
+``config.problem`` (one of
+:data:`~repro.core.config.PROBLEM_KINDS`), usable per-job or in
+``defaults``; specifying both the alias and ``config.problem`` is an
+error. An optional ``fingerprint`` pins the job to an exact
+result-relevant configuration: it must carry the current
+:data:`~repro.core.config.FINGERPRINT_VERSION` prefix and match the
+built config's :func:`~repro.core.config.config_fingerprint` --
+kind-less fingerprints from pre-problem-kind jobs files are rejected
+outright rather than silently treated as ``max-clique``. ``defaults``
+supplies fallback values for ``priority`` / ``timeout_s`` /
+``problem`` / ``config`` entries merged under each job's own. Unknown
+keys anywhere raise :class:`~repro.errors.JobSpecError` -- silent
+typos in a batch file are worse than a loud failure. See
+docs/SERVICE.md for the full schema.
 """
 
 from __future__ import annotations
@@ -31,15 +41,18 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Union
 
-from ..core.config import SolverConfig
+from ..core.config import FINGERPRINT_VERSION, SolverConfig, config_fingerprint
 from ..errors import JobSpecError, SolverConfigError
 from ..graph.csr import CSRGraph
 from .request import SolveRequest
 
 __all__ = ["load_jobs", "parse_jobs", "resolve_graph"]
 
-_JOB_KEYS = {"id", "graph", "priority", "timeout_s", "config", "label"}
-_DEFAULT_KEYS = {"priority", "timeout_s", "config"}
+_JOB_KEYS = {
+    "id", "graph", "priority", "timeout_s", "config", "label",
+    "problem", "fingerprint",
+}
+_DEFAULT_KEYS = {"priority", "timeout_s", "config", "problem"}
 _CONFIG_FIELDS = frozenset(SolverConfig.__dataclass_fields__)
 
 
@@ -75,6 +88,33 @@ def _build_config(spec: Dict[str, Any], where: str) -> SolverConfig:
         return SolverConfig(**spec)
     except (SolverConfigError, ValueError, TypeError) as exc:
         raise JobSpecError(f"{where}: invalid config: {exc}")
+
+
+def _check_fingerprint(fp: Any, config: SolverConfig, where: str) -> None:
+    """Validate a job's pinned config fingerprint, if any.
+
+    Fingerprints written before problem kinds existed (no ``v<N>;``
+    prefix) described max-clique solves implicitly; accepting one
+    would silently collide with current ``max-clique`` cache entries,
+    so they are rejected with a pointer at the schema change.
+    """
+    if fp is None:
+        return
+    if not isinstance(fp, str):
+        raise JobSpecError(f"{where}: 'fingerprint' must be a string")
+    prefix = FINGERPRINT_VERSION + ";"
+    if not fp.startswith(prefix):
+        raise JobSpecError(
+            f"{where}: kind-less config fingerprint (pre-{FINGERPRINT_VERSION} "
+            f"schema, before problem kinds); re-generate the jobs file -- "
+            f"current fingerprints start with {prefix!r}"
+        )
+    actual = config_fingerprint(config)
+    if fp != actual:
+        raise JobSpecError(
+            f"{where}: 'fingerprint' does not match the job's config "
+            f"(expected {actual!r})"
+        )
 
 
 def parse_jobs(payload: Union[list, dict], source: str = "<jobs>") -> List[SolveRequest]:
@@ -123,10 +163,26 @@ def parse_jobs(payload: Union[list, dict], source: str = "<jobs>") -> List[Solve
         if not isinstance(job_config, dict):
             raise JobSpecError(f"{where}: 'config' must be an object")
         config_spec.update(job_config)
+        problem = job.get("problem")
+        if problem is not None and "problem" in job_config:
+            raise JobSpecError(
+                f"{where}: 'problem' given both as a job key and in "
+                f"'config'; use one"
+            )
+        if problem is None and "problem" not in job_config:
+            # the defaults-level alias is a fallback only: a job's own
+            # config.problem wins over it
+            problem = defaults.get("problem")
+        if problem is not None:
+            if not isinstance(problem, str):
+                raise JobSpecError(f"{where}: 'problem' must be a string")
+            config_spec["problem"] = problem
+        config = _build_config(config_spec, where)
+        _check_fingerprint(job.get("fingerprint"), config, where)
         requests.append(
             SolveRequest(
                 graph=resolve_graph(graph_name),
-                config=_build_config(config_spec, where),
+                config=config,
                 job_id=job.get("id"),
                 priority=int(job.get("priority", defaults.get("priority", 0))),
                 timeout_s=job.get("timeout_s", defaults.get("timeout_s")),

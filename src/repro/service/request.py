@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..core.config import SolverConfig
-from ..core.result import MaxCliqueResult
+from ..core.result import SolveResult
 from ..graph.csr import CSRGraph
 
 __all__ = ["SolveRequest", "JobRecord"]
@@ -77,8 +77,16 @@ class JobRecord:
     job_id: str
     status: str
     label: str = ""
+    #: problem kind of the request's config (result field selector)
+    problem: str = "max-clique"
+    #: the counted clique size (k-clique-count jobs only)
+    k: Optional[int] = None
     clique_number: Optional[int] = None
     num_maximum_cliques: Optional[int] = None
+    #: exact k-clique count (k-clique-count jobs only)
+    k_clique_count: Optional[int] = None
+    #: exact maximal clique count (maximal-enum jobs only)
+    num_maximal_cliques: Optional[int] = None
     enumerated_all: Optional[bool] = None
     cache_hit: bool = False
     attempts: int = 0
@@ -95,7 +103,7 @@ class JobRecord:
     stage_model_times: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
     #: full result object (not serialised); None for rejected/failed
-    result: Optional[MaxCliqueResult] = None
+    result: Optional[SolveResult] = None
 
     @property
     def ok(self) -> bool:
@@ -107,8 +115,12 @@ class JobRecord:
             "job_id": self.job_id,
             "status": self.status,
             "label": self.label,
+            "problem": self.problem,
+            "k": self.k,
             "clique_number": self.clique_number,
             "num_maximum_cliques": self.num_maximum_cliques,
+            "k_clique_count": self.k_clique_count,
+            "num_maximal_cliques": self.num_maximal_cliques,
             "enumerated_all": self.enumerated_all,
             "cache_hit": self.cache_hit,
             "attempts": self.attempts,

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.config import SolverConfig
+from ..core.result import KCliqueCountResult, MaximalEnumResult
 from ..core.solver import MaxCliqueSolver
 from ..engine.executor import Executor, resolve_executor
 from ..errors import (
@@ -364,8 +365,13 @@ class SolveService:
             record.attempts += 1
             m0 = device.model_time_s
             # capture resumable state only where resume is possible:
-            # sequential windowed sweeps
-            if config.windowed and config.window_fanout == 1:
+            # sequential windowed max-clique sweeps (other kinds carry
+            # cross-window accumulators a window checkpoint cannot express)
+            if (
+                config.windowed
+                and config.window_fanout == 1
+                and config.problem == "max-clique"
+            ):
                 sink = lambda ckpt: latest.__setitem__(0, ckpt)  # noqa: E731
             else:
                 sink = None
@@ -476,14 +482,23 @@ class SolveService:
             record.model_time_s += device.model_time_s - m0
             record.status = STATUS_OK
             record.error = None
-            record.clique_number = result.clique_number
-            record.num_maximum_cliques = result.num_maximum_cliques
-            record.enumerated_all = result.enumerated_all
-            # the executed mode degraded the answer when the caller
-            # asked for full enumeration but got a single clique
-            record.degraded = record.degraded or (
-                request.config.enumerate_all and not result.enumerated_all
-            )
+            if isinstance(result, KCliqueCountResult):
+                record.k = result.k
+                record.k_clique_count = result.count
+                record.enumerated_all = True
+            elif isinstance(result, MaximalEnumResult):
+                record.num_maximal_cliques = result.num_maximal_cliques
+                record.clique_number = result.max_clique_size
+                record.enumerated_all = result.enumerated_all
+            else:
+                record.clique_number = result.clique_number
+                record.num_maximum_cliques = result.num_maximum_cliques
+                record.enumerated_all = result.enumerated_all
+                # the executed mode degraded the answer when the caller
+                # asked for full enumeration but got a single clique
+                record.degraded = record.degraded or (
+                    request.config.enumerate_all and not result.enumerated_all
+                )
             record.stage_model_times = dict(result.stage_times)
             record.result = result
             self.pool.note_success(dev_index)
@@ -508,8 +523,12 @@ class SolveService:
             job_id=request.job_id,
             status=STATUS_OK,
             label=request.label,
+            problem=cached.problem,
+            k=cached.k,
             clique_number=cached.clique_number,
             num_maximum_cliques=cached.num_maximum_cliques,
+            k_clique_count=cached.k_clique_count,
+            num_maximal_cliques=cached.num_maximal_cliques,
             enumerated_all=cached.enumerated_all,
             cache_hit=True,
             attempts=0,
@@ -609,6 +628,8 @@ class _BatchPlan:
                 job_id=request.job_id,
                 status=STATUS_REJECTED,
                 label=request.label,
+                problem=request.config.problem,
+                k=request.config.k,
                 admission=decision.decision,
                 admission_reason=decision.reason,
                 wall_time_s=time.perf_counter() - w0,
@@ -642,6 +663,8 @@ class _BatchPlan:
             job_id=st.request.job_id,
             status=STATUS_FAILED,
             label=st.request.label,
+            problem=st.request.config.problem,
+            k=st.request.config.k,
             admission=st.decision.decision,
             admission_reason=st.decision.reason,
             device=st.dev_index,

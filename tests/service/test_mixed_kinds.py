@@ -1,0 +1,246 @@
+"""Mixed problem kinds through the solve service.
+
+One service run may interleave max-clique, k-clique-count, and
+maximal-enum jobs: records must carry the right per-kind figures, the
+result cache must key kinds apart, the threaded executor must stay
+byte-identical to the serial one, and the chaos harness must hold for
+non-default kinds (faults change accounting, never answers).
+"""
+
+import pytest
+
+from repro.baselines import count_k_cliques_reference, maximal_clique_set
+from repro.core import MaxCliqueSolver, SolverConfig
+from repro.core.config import config_fingerprint
+from repro.errors import JobSpecError
+from repro.gpusim import Device, FaultEvent, FaultPlan
+from repro.gpusim.spec import DeviceSpec
+from repro.graph import generators as gen
+from repro.service import SolveService
+from repro.service.jobs import parse_jobs
+
+MIB = 1 << 20
+
+
+@pytest.fixture(scope="module")
+def community():
+    return gen.caveman_social(5, 30, p_in=0.35, seed=3)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return DeviceSpec(memory_bytes=32 * MIB)
+
+
+def _mixed_jobs(graph):
+    return [
+        (graph, SolverConfig()),
+        (graph, SolverConfig(problem="k-clique-count", k=3)),
+        (graph, SolverConfig(problem="k-clique-count", k=4, window_size=128)),
+        (graph, SolverConfig(problem="maximal-enum")),
+        (graph, SolverConfig(problem="maximal-enum", window_size=128)),
+    ]
+
+
+def _run(jobs, spec, devices=2, **svc_kwargs):
+    svc = SolveService(devices=devices, spec=spec, **svc_kwargs)
+    for graph, config in jobs:
+        svc.submit_graph(graph, config)
+    return svc.run(), svc
+
+
+def _signatures(records):
+    """Everything about a mixed run that executors/faults must not change."""
+    return [
+        (
+            r.job_id,
+            r.status,
+            r.problem,
+            r.k,
+            r.clique_number,
+            r.num_maximum_cliques,
+            r.k_clique_count,
+            r.num_maximal_cliques,
+            r.enumerated_all,
+            r.cache_hit,
+        )
+        for r in records
+    ]
+
+
+class TestMixedBatch:
+    def test_records_carry_kind_figures(self, community, spec):
+        records, _ = _run(_mixed_jobs(community), spec)
+        assert all(r.ok for r in records)
+        mc, kc3, kc4, me, mew = records
+
+        assert mc.problem == "max-clique" and mc.k is None
+        assert mc.k_clique_count is None and mc.num_maximal_cliques is None
+
+        assert kc3.problem == "k-clique-count" and kc3.k == 3
+        assert kc3.k_clique_count == count_k_cliques_reference(community, 3)
+        assert kc3.clique_number is None
+        assert kc4.k_clique_count == count_k_cliques_reference(community, 4)
+
+        oracle = maximal_clique_set(community)
+        assert me.problem == "maximal-enum"
+        assert me.num_maximal_cliques == len(oracle)
+        assert me.clique_number == len(oracle[-1])  # ω via largest maximal
+        assert mew.num_maximal_cliques == len(oracle)
+
+    def test_to_dict_round_trips_kind_fields(self, community, spec):
+        records, _ = _run(_mixed_jobs(community), spec)
+        d = records[1].to_dict()
+        assert d["problem"] == "k-clique-count" and d["k"] == 3
+        assert d["k_clique_count"] == records[1].k_clique_count
+        d = records[3].to_dict()
+        assert d["problem"] == "maximal-enum"
+        assert d["num_maximal_cliques"] == records[3].num_maximal_cliques
+
+    def test_threaded_executor_matches_serial(self, community, spec):
+        serial, _ = _run(_mixed_jobs(community), spec, executor="serial")
+        threaded, _ = _run(
+            _mixed_jobs(community), spec, executor="threaded", workers=4
+        )
+        assert _signatures(serial) == _signatures(threaded)
+        assert [r.model_time_s for r in serial] == [
+            r.model_time_s for r in threaded
+        ]
+
+    def test_kinds_have_distinct_cache_keys(self, community, spec):
+        jobs = [
+            (community, SolverConfig()),
+            (community, SolverConfig(problem="k-clique-count", k=3)),
+            (community, SolverConfig(problem="k-clique-count", k=4)),
+            (community, SolverConfig(problem="maximal-enum")),
+            # repeats: must all hit, each on its own kind's entry
+            (community, SolverConfig(problem="k-clique-count", k=3)),
+            (community, SolverConfig(problem="maximal-enum")),
+            (community, SolverConfig()),
+        ]
+        records, svc = _run(jobs, spec)
+        assert [r.cache_hit for r in records] == [False] * 4 + [True] * 3
+        hit_kc, hit_me, hit_mc = records[4:]
+        assert hit_kc.k_clique_count == records[1].k_clique_count
+        assert hit_kc.problem == "k-clique-count" and hit_kc.k == 3
+        assert hit_me.num_maximal_cliques == records[3].num_maximal_cliques
+        assert hit_mc.clique_number == records[0].clique_number
+        assert svc.summary().cache_hits == 3
+
+
+class TestJobsFileKinds:
+    def _parse(self, payload, graph):
+        import repro.service.jobs as jobs_mod
+
+        original = jobs_mod.resolve_graph
+        jobs_mod.resolve_graph = lambda name: graph
+        try:
+            return parse_jobs(payload)
+        finally:
+            jobs_mod.resolve_graph = original
+
+    def test_problem_alias_and_defaults(self, community):
+        payload = {
+            "defaults": {"problem": "maximal-enum"},
+            "jobs": [
+                {"graph": "g"},
+                {"graph": "g", "problem": "k-clique-count", "config": {"k": 5}},
+                {"graph": "g", "config": {"problem": "max-clique"}},
+            ],
+        }
+        reqs = self._parse(payload, community)
+        assert reqs[0].config.problem == "maximal-enum"
+        assert reqs[1].config.problem == "k-clique-count"
+        assert reqs[1].config.k == 5
+        assert reqs[2].config.problem == "max-clique"
+
+    def test_problem_alias_conflicts_with_config_key(self, community):
+        payload = [
+            {
+                "graph": "g",
+                "problem": "maximal-enum",
+                "config": {"problem": "max-clique"},
+            }
+        ]
+        with pytest.raises(JobSpecError, match="both"):
+            self._parse(payload, community)
+
+    def test_matching_v2_fingerprint_accepted(self, community):
+        config = SolverConfig(problem="k-clique-count", k=3)
+        payload = [
+            {
+                "graph": "g",
+                "problem": "k-clique-count",
+                "config": {"k": 3},
+                "fingerprint": config_fingerprint(config),
+            }
+        ]
+        reqs = self._parse(payload, community)
+        assert reqs[0].config.k == 3
+
+    def test_kindless_v1_fingerprint_rejected(self, community):
+        """Regression: pre-problem-kind fingerprints must fail loudly."""
+        legacy = (
+            "adaptive_windowing=False;coloring_preprune=False;"
+            "heuristic='multi-degree';window_size=None"
+        )
+        payload = [{"graph": "g", "fingerprint": legacy}]
+        with pytest.raises(JobSpecError, match="kind-less"):
+            self._parse(payload, community)
+
+    def test_mismatched_fingerprint_rejected(self, community):
+        other = config_fingerprint(SolverConfig(problem="maximal-enum"))
+        payload = [{"graph": "g", "fingerprint": other}]
+        with pytest.raises(JobSpecError, match="does not match"):
+            self._parse(payload, community)
+
+
+class TestChaosWithKinds:
+    """Faults must not change non-default-kind answers either."""
+
+    @pytest.fixture(scope="class")
+    def enum_launches(self, community, spec):
+        device = Device(spec)
+        MaxCliqueSolver(
+            community,
+            SolverConfig(problem="maximal-enum", window_size=128),
+            device,
+        ).solve()
+        return device.stats().kernel_launches
+
+    def _chaos_run(self, jobs, spec, fault_plan=None):
+        svc = SolveService(
+            devices=2, spec=spec, cache_size=0, fault_plan=fault_plan
+        )
+        for graph, config in jobs:
+            svc.submit_graph(graph, config)
+        return svc.run(), svc
+
+    def test_device_lost_mid_enum_matches_fault_free(
+        self, community, spec, enum_launches
+    ):
+        jobs = [
+            (community, SolverConfig(problem="maximal-enum", window_size=128))
+        ]
+        clean, _ = self._chaos_run(jobs, spec)
+        plan = FaultPlan(
+            [FaultEvent(0, "launch", enum_launches // 3, "device-lost")]
+        )
+        chaos, svc = self._chaos_run(jobs, spec, fault_plan=plan)
+
+        assert _signatures(chaos) == _signatures(clean)
+        assert list(chaos[0].result.cliques) == list(clean[0].result.cliques)
+        assert chaos[0].migrations == 1
+        assert svc.summary().device_faults == 1
+
+    def test_transient_fault_mid_count_matches_fault_free(
+        self, community, spec
+    ):
+        jobs = [(community, SolverConfig(problem="k-clique-count", k=4))]
+        clean, _ = self._chaos_run(jobs, spec)
+        plan = FaultPlan([FaultEvent(0, "launch", 5, "transient-kernel")])
+        chaos, _ = self._chaos_run(jobs, spec, fault_plan=plan)
+
+        assert _signatures(chaos) == _signatures(clean)
+        assert chaos[0].k_clique_count == clean[0].k_clique_count
+        assert chaos[0].transient_retries == 1
