@@ -1,23 +1,35 @@
-"""Latency and throughput of the network solve server.
+"""Latency and throughput of the network solve server -- and cluster.
 
 A multi-connection load generator against an in-process
 :class:`~repro.server.ServerThread`: 1, 4, and 16 concurrent clients,
 each firing a stream of ``solve`` frames over real TCP sockets, for
-both the serial and the threaded batch executor. Reported per cell:
-requests/second and client-observed p50/p99 latency (measured around
-the full round trip — encode, wire, micro-batch, solve, reply).
+both the serial and the threaded batch executor. The cluster mode
+runs the same sweep through a :class:`~repro.cluster.RouterThread`
+fronting two backends, so the router's overhead and its cache-affinity
+sharding are measured against the single-server baseline. Reported
+per cell: requests/second and client-observed p50/p99 latency
+(measured around the full round trip -- encode, wire, micro-batch,
+solve, reply).
+
+Every run appends its cells to ``BENCH_server.json`` at the repo root:
+a machine-readable trajectory artifact (``repro-bench/1``) that CI and
+future sessions can diff for regressions.
 
 Qualitative assertions: every request completes ``ok``; repeats are
-served from the result cache; a ``stats`` frame still answers quickly
-while the load is running (the event loop never blocks on a solve);
-and both executors return identical clique numbers for every graph.
+served from the result cache (in cluster mode the *union* of the
+backend caches holds each graph exactly once -- sharding, not
+duplication); a ``stats`` frame still answers quickly while the load
+is running; and all topologies return identical clique numbers.
 """
 
+import json
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.cluster import RouterConfig, RouterThread
 from repro.server import ServerConfig, ServerThread, SolveClient
 from repro.server.stats import LatencyWindow
 from repro.service import SolveService
@@ -33,18 +45,68 @@ CLIENT_COUNTS = [1, 4, 16]
 REQUESTS_PER_CLIENT = 6
 STATS_BUDGET_S = 1.0  # a concurrent stats frame must answer within this
 
+#: perf-trajectory artifact (repo root); append-only across runs
+BENCH_SCHEMA = "repro-bench/1"
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_server.json")
 
-def _start_server(executor):
+
+def _record_trajectory(topology, executor, rows):
+    """Append one run's cells to the ``BENCH_server.json`` trajectory."""
+    path = os.path.abspath(BENCH_PATH)
+    doc = {"schema": BENCH_SCHEMA, "benchmark": "server_latency", "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if existing.get("schema") == BENCH_SCHEMA:
+                doc = existing
+        except (OSError, ValueError):
+            pass  # unreadable artifact: start a fresh trajectory
+    doc["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "topology": topology,
+            "executor": executor,
+            "clients": CLIENT_COUNTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "cells": rows,
+        }
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _make_service(executor):
     workers = 2 if executor == "threaded" else 1
-    service = SolveService(
+    return SolveService(
         devices=2,
         tracer=CounterTracer(),
         executor=executor,
         workers=workers,
     )
-    handle = ServerThread(service, ServerConfig(port=0, max_conns=64))
+
+
+def _start_server(executor):
+    handle = ServerThread(
+        _make_service(executor), ServerConfig(port=0, max_conns=64)
+    )
     handle.start()
     return handle
+
+
+def _start_cluster(executor, n_backends=2):
+    """Two backends behind a router; returns (router, backends)."""
+    backends = [_start_server(executor) for _ in range(n_backends)]
+    router = RouterThread(
+        RouterConfig(
+            backends=[("127.0.0.1", b.port) for b in backends],
+            port=0,
+            max_conns=64,
+        )
+    )
+    router.start()
+    return router, backends
 
 
 def _client_stream(port, client_idx, n_requests):
@@ -63,41 +125,45 @@ def _client_stream(port, client_idx, n_requests):
     return out
 
 
-def _load_sweep(executor):
-    """Run the 1/4/16-client sweep against one server; returns
+def _sweep_port(port):
+    """The 1/4/16-client sweep against one listening port; returns
     ``(rows, omegas)`` where rows are printable result cells."""
-    handle = _start_server(executor)
     rows, omegas = [], {}
+    for n_clients in CLIENT_COUNTS:
+        window = LatencyWindow(size=4096)
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as pool:
+            futures = [
+                pool.submit(_client_stream, port, idx, REQUESTS_PER_CLIENT)
+                for idx in range(n_clients)
+            ]
+            results = [f.result() for f in futures]
+        elapsed = time.perf_counter() - t0
+        total = 0
+        for stream in results:
+            for graph, omega, latency in stream:
+                omegas.setdefault(graph, omega)
+                assert omegas[graph] == omega, (graph, omegas[graph], omega)
+                window.record(latency)
+                total += 1
+        snap = window.snapshot()
+        rows.append(
+            {
+                "clients": n_clients,
+                "requests": total,
+                "rps": total / elapsed,
+                "p50_ms": snap["p50_ms"],
+                "p99_ms": snap["p99_ms"],
+            }
+        )
+    return rows, omegas
+
+
+def _load_sweep(executor):
+    """Single-server sweep plus its responsiveness/cache assertions."""
+    handle = _start_server(executor)
     try:
-        for n_clients in CLIENT_COUNTS:
-            window = LatencyWindow(size=4096)
-            t0 = time.perf_counter()
-            with ThreadPoolExecutor(max_workers=n_clients) as pool:
-                futures = [
-                    pool.submit(
-                        _client_stream, handle.port, idx, REQUESTS_PER_CLIENT
-                    )
-                    for idx in range(n_clients)
-                ]
-                results = [f.result() for f in futures]
-            elapsed = time.perf_counter() - t0
-            total = 0
-            for stream in results:
-                for graph, omega, latency in stream:
-                    omegas.setdefault(graph, omega)
-                    assert omegas[graph] == omega, (graph, omegas[graph], omega)
-                    window.record(latency)
-                    total += 1
-            snap = window.snapshot()
-            rows.append(
-                {
-                    "clients": n_clients,
-                    "requests": total,
-                    "rps": total / elapsed,
-                    "p50_ms": snap["p50_ms"],
-                    "p99_ms": snap["p99_ms"],
-                }
-            )
+        rows, omegas = _sweep_port(handle.port)
         # responsiveness probe: stats must answer fast even after load
         with SolveClient(port=handle.port) as client:
             t0 = time.perf_counter()
@@ -113,18 +179,67 @@ def _load_sweep(executor):
     return rows, omegas
 
 
-@pytest.mark.parametrize("executor", ["serial", "threaded"])
-def test_server_latency(benchmark, executor):
-    rows, omegas = run_once(benchmark, lambda: _load_sweep(executor))
-    print(f"\n{executor} executor:")
+def _cluster_sweep(executor):
+    """Router-fronted sweep plus its sharding/affinity assertions."""
+    router, backends = _start_cluster(executor)
+    try:
+        rows, omegas = _sweep_port(router.port)
+        with SolveClient(port=router.port) as client:
+            t0 = time.perf_counter()
+            stats = client.stats()
+            stats_s = time.perf_counter() - t0
+        assert stats_s < STATS_BUDGET_S, f"stats frame took {stats_s:.3f}s"
+        assert stats["router"]["latency"]["count"] > 0
+        assert stats["router"]["backends_available"] == len(backends)
+        # consistent hashing shards the catalogue: the union of the
+        # backend caches solved each graph exactly once, no backend
+        # duplicated another's work
+        misses = 0
+        for backend in backends:
+            with SolveClient(port=backend.port) as direct:
+                misses += direct.stats()["service"]["cache"]["misses"]
+        assert misses == len(GRAPHS), stats["backends"]
+    finally:
+        router.stop()
+        for backend in backends:
+            backend.stop()
+    return rows, omegas
+
+
+def _print_rows(title, rows):
+    print(f"\n{title}:")
     print("  clients  requests      req/s    p50 ms    p99 ms")
     for row in rows:
         print(
             f"  {row['clients']:7d}  {row['requests']:8d}  "
             f"{row['rps']:9.1f}  {row['p50_ms']:8.2f}  {row['p99_ms']:8.2f}"
         )
+
+
+@pytest.mark.parametrize("executor", ["serial", "threaded"])
+def test_server_latency(benchmark, executor):
+    rows, omegas = run_once(benchmark, lambda: _load_sweep(executor))
+    _print_rows(f"{executor} executor (single server)", rows)
+    _record_trajectory("single", executor, rows)
     assert len(omegas) == len(GRAPHS)
     assert all(r["p50_ms"] <= r["p99_ms"] for r in rows)
+
+
+def test_cluster_latency(benchmark):
+    """1 router x 2 backends vs 1 server, same load, same answers."""
+    def _both():
+        single_rows, single_omegas = _load_sweep("threaded")
+        cluster_rows, cluster_omegas = _cluster_sweep("threaded")
+        return single_rows, single_omegas, cluster_rows, cluster_omegas
+
+    single_rows, single_omegas, cluster_rows, cluster_omegas = run_once(
+        benchmark, _both
+    )
+    _print_rows("threaded executor (single server)", single_rows)
+    _print_rows("threaded executor (router x 2 backends)", cluster_rows)
+    _record_trajectory("cluster", "threaded", cluster_rows)
+    assert cluster_omegas == single_omegas
+    assert all(r["p50_ms"] <= r["p99_ms"] for r in cluster_rows)
 
 
 def test_executor_parity_over_the_wire():

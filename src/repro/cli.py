@@ -5,6 +5,8 @@
     python -m repro solve GRAPH [options]     # find/enumerate maximum cliques
     python -m repro batch JOBS.json [options] # run a job file through the service
     python -m repro serve [options]           # network solve server (repro-wire/1)
+    python -m repro router --backends H:P ... # consistent-hash cluster router
+    python -m repro cluster-status            # per-backend health/routing view
     python -m repro client solve GRAPH        # solve against a running server
     python -m repro client stats|shutdown     # server statistics / graceful drain
     python -m repro info GRAPH                # structural statistics
@@ -481,9 +483,116 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_router(args: argparse.Namespace) -> int:
+    from .cluster import DEFAULT_ROUTER_PORT, Router, RouterConfig
+    from .server.client import _parse_address
+
+    try:
+        backends = [_parse_address(b) for b in args.backends]
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    config = RouterConfig(
+        backends=backends,
+        host=args.host,
+        port=args.port if args.port is not None else DEFAULT_ROUTER_PORT,
+        replicas=args.replicas,
+        max_conns=args.max_conns,
+        max_frame_bytes=args.max_frame_mib * MIB,
+        probe_interval_s=args.probe_interval,
+        down_threshold=args.down_threshold,
+        checkpoint_poll_s=args.checkpoint_poll,
+        drain_timeout_s=args.drain_timeout,
+    )
+    try:
+        router = Router(config)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    out.info(
+        f"router: {len(backends)} backend(s), {args.replicas} ring "
+        f"replica(s) each, probe every {args.probe_interval:g}s "
+        f"(down after {args.down_threshold} misses)"
+    )
+    try:
+        router.run()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot bind {args.host}:{args.port}: {exc}")
+    out.info(
+        f"router: drained after "
+        f"{router.stats.get('solves.accepted')} solve(s) "
+        f"({router.stats.get('failover.total')} failover(s), "
+        f"{router.stats.get('rebalanced.total')} rebalance(s))"
+    )
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from .cluster import DEFAULT_ROUTER_PORT
+    from .errors import ProtocolError, ServerError
+
+    if args.port is None and not getattr(args, "addr", None):
+        args.port = DEFAULT_ROUTER_PORT
+    client = _make_client(args)
+    try:
+        with client:
+            stats = client.stats()
+    except (ServerError, ProtocolError) as exc:
+        out.info(f"error: {exc}")
+        return 1
+    if "router" not in stats or "backends" not in stats:
+        out.info(
+            f"error: {client.host}:{client.port} answers stats but is "
+            f"not a router (point this at `repro router`)"
+        )
+        return 1
+    if args.json:
+        import json
+
+        sys.stdout.write(json.dumps(stats, indent=2) + "\n")
+        return 0
+    router = stats["router"]
+    latency = router["latency"]
+    out.info(
+        f"router: {router.get('backends_available', 0)}/"
+        f"{router.get('backends_total', 0)} backend(s) available, "
+        f"{router.get('in_flight', 0)} solve(s) in flight"
+        f"{' (draining)' if router.get('draining') else ''}"
+    )
+    out.info(
+        f"routed: {router.get('routed.total', 0)} "
+        f"(failed over {router.get('failover.total', 0)}, "
+        f"resumed via checkpoint {router.get('failover.resumed', 0)}, "
+        f"rebalanced {router.get('rebalanced.total', 0)}, "
+        f"re-submitted {router.get('resubmits.total', 0)})"
+    )
+    out.info(
+        f"latency: p50={latency['p50_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms "
+        f"over {latency['count']} request(s)"
+    )
+    for name, backend in sorted(stats["backends"].items()):
+        health = backend["health"]
+        link = "up" if backend.get("connected") else "no link"
+        out.info(
+            f"  {name:24s} {health['state']:8s} ({link})  "
+            f"routed={backend.get('routed', 0)} "
+            f"failed_over={backend.get('failed_over', 0)} "
+            f"rebalanced={backend.get('rebalanced', 0)} "
+            f"probe_misses={health['consecutive_failures']}"
+        )
+    return 0
+
+
 def _make_client(args: argparse.Namespace):
     from .server import DEFAULT_PORT, SolveClient
 
+    if getattr(args, "addr", None):
+        try:
+            return SolveClient(
+                addresses=list(args.addr),
+                timeout_s=args.wait,
+                retries=args.retries,
+            )
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"error: {exc}")
     return SolveClient(
         host=args.host,
         port=args.port if args.port is not None else DEFAULT_PORT,
@@ -741,8 +850,37 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         f"model={dfs.model_time_s * 1e3:.3f} ms  "
         f"(subtree imbalance {dfs.imbalance:.1f}x)"
     )
+    agree = omega is None or (omega == pmc.clique_number == dfs.clique_number)
+    # the other problem kinds, each against its exact CPU oracle
+    from .baselines import count_k_cliques_reference, maximal_clique_set
+
+    kc = MaxCliqueSolver(
+        graph,
+        SolverConfig(problem="k-clique-count", k=args.k),
+        Device(DeviceSpec(memory_bytes=args.memory_mib * MIB)),
+        tracer=tracer,
+    ).solve()
+    kc_ref = count_k_cliques_reference(graph, args.k)
+    out.info(
+        f"k-clique-count (k={args.k}):     count={kc.count}  "
+        f"model={kc.model_time_s * 1e3:.3f} ms  "
+        f"(CPU oracle: {kc_ref})"
+    )
+    me = MaxCliqueSolver(
+        graph,
+        SolverConfig(problem="maximal-enum"),
+        Device(DeviceSpec(memory_bytes=args.memory_mib * MIB)),
+        tracer=tracer,
+    ).solve()
+    me_ref = len(maximal_clique_set(graph))
+    out.info(
+        f"maximal-enum:               maximal={me.num_maximal_cliques}  "
+        f"model={me.model_time_s * 1e3:.3f} ms  "
+        f"(CPU oracle: {me_ref})"
+    )
+    agree = agree and kc.count == kc_ref and me.num_maximal_cliques == me_ref
     _export_trace(tracer, args)
-    if omega is not None and not (omega == pmc.clique_number == dfs.clique_number):
+    if not agree:
         out.info("warning: solvers disagree!")
         return 1
     return 0
@@ -831,9 +969,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_data.add_argument("--sizes", action="store_true", help="also build and show sizes")
     p_data.set_defaults(func=_cmd_datasets)
 
-    p_cmp = sub.add_parser("compare", help="BF vs PMC vs warp-DFS")
+    p_cmp = sub.add_parser(
+        "compare",
+        help="BF vs PMC vs warp-DFS, plus the counting/enumeration "
+        "kinds vs their exact CPU oracles",
+    )
     p_cmp.add_argument("graph")
     p_cmp.add_argument("--memory-mib", type=int, default=192)
+    p_cmp.add_argument(
+        "--k", type=int, default=3, metavar="K",
+        help="clique size for the k-clique-count row (default 3)",
+    )
     _add_trace_args(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -905,6 +1051,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_router = sub.add_parser(
+        "router",
+        help="consistent-hash cluster router over N solve servers",
+    )
+    p_router.add_argument(
+        "--backends", nargs="+", required=True, metavar="HOST:PORT",
+        help="backend solve servers (at least one)",
+    )
+    p_router.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    p_router.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 7431; 0 picks an ephemeral port)",
+    )
+    p_router.add_argument(
+        "--replicas", type=int, default=64, metavar="N",
+        help="virtual nodes per backend on the hash ring (default 64)",
+    )
+    p_router.add_argument(
+        "--max-conns", type=int, default=64,
+        help="concurrent client connections before refusing (default 64)",
+    )
+    p_router.add_argument(
+        "--max-frame-mib", type=int, default=8,
+        help="per-frame wire size limit in MiB (default 8)",
+    )
+    p_router.add_argument(
+        "--probe-interval", type=float, default=0.5, metavar="SECONDS",
+        help="seconds between per-backend health probes (default 0.5)",
+    )
+    p_router.add_argument(
+        "--down-threshold", type=int, default=3,
+        help="consecutive probe misses before a backend is down "
+        "(default 3)",
+    )
+    p_router.add_argument(
+        "--checkpoint-poll", type=float, default=0.25, metavar="SECONDS",
+        help="seconds between checkpoint polls of in-flight resumable "
+        "solves (default 0.25)",
+    )
+    p_router.add_argument(
+        "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="graceful-drain budget on SIGTERM/shutdown (default 60)",
+    )
+    p_router.set_defaults(func=_cmd_router)
+
     p_client = sub.add_parser(
         "client", help="talk to a running solve server"
     )
@@ -926,6 +1120,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument(
             "--wait", type=float, default=120.0, metavar="SECONDS",
             help="socket timeout per reply (default 120)",
+        )
+        p.add_argument(
+            "--addr", action="append", metavar="HOST:PORT", default=None,
+            help="server address; repeat to give fallbacks the client "
+            "rotates through on connection failure or a draining "
+            "reject (overrides --host/--port)",
         )
 
     p_csolve = client_sub.add_parser(
@@ -981,6 +1181,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_client_args(p_cshut)
     p_cshut.set_defaults(func=_cmd_client_shutdown)
+
+    p_cluster = sub.add_parser(
+        "cluster-status",
+        help="per-backend health and routing counters of a router",
+    )
+    p_cluster.add_argument(
+        "--json", action="store_true",
+        help="emit the raw router stats frame as JSON",
+    )
+    _add_client_args(p_cluster)
+    p_cluster.set_defaults(func=_cmd_cluster_status)
 
     args = parser.parse_args(argv)
     configure_logging(args.log_level)

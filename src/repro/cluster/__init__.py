@@ -1,0 +1,39 @@
+"""Cluster tier: shard ``repro-wire/1`` traffic across SolveServers.
+
+A :class:`~repro.cluster.router.Router` fronts N independent
+``repro serve`` backends with the same protocol they speak, so clients
+need no new code. The pieces:
+
+* :mod:`~repro.cluster.ring` -- consistent-hash placement by the
+  request's cache identity (graph + config fingerprints), which keeps
+  repeated requests on the backend whose LRU cache already holds them;
+* :mod:`~repro.cluster.health` -- a probe-driven ``healthy -> suspect
+  -> down`` state machine per backend;
+* :mod:`~repro.cluster.backend` -- one multiplexing client link per
+  backend, the failure detector for live traffic;
+* :mod:`~repro.cluster.router` -- the front door, including
+  checkpoint-shipped failover of mid-solve max-clique requests.
+
+``repro router`` / ``repro cluster-status`` are the CLI entry points;
+docs/CLUSTER.md is the design document.
+"""
+
+from .backend import BackendLink, BackendLostError
+from .health import DOWN, HEALTHY, SUSPECT, BackendHealth
+from .ring import DEFAULT_REPLICAS, HashRing
+from .router import DEFAULT_ROUTER_PORT, Router, RouterConfig, RouterThread
+
+__all__ = [
+    "BackendHealth",
+    "BackendLink",
+    "BackendLostError",
+    "DEFAULT_REPLICAS",
+    "DEFAULT_ROUTER_PORT",
+    "HashRing",
+    "Router",
+    "RouterConfig",
+    "RouterThread",
+    "HEALTHY",
+    "SUSPECT",
+    "DOWN",
+]

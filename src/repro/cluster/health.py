@@ -1,0 +1,92 @@
+"""Backend health state machine for the cluster router.
+
+The same circuit-breaker idea as the device pool's
+:class:`~repro.service.pool.DeviceHealth` (healthy -> quarantined ->
+probation), re-cut for network peers where the failure signal is a
+missed probe or a reset connection rather than an injected device
+fault:
+
+* ``healthy`` -- the backend answers probes; it takes new requests.
+* ``suspect`` -- one or more recent probes failed but fewer than
+  ``down_threshold`` in a row. The backend *still takes requests*
+  (a single dropped probe on a busy host must not re-home its keys
+  and wipe out cache affinity), it is just being watched.
+* ``down`` -- ``down_threshold`` consecutive probe failures, or a
+  connection reset observed by live traffic (:meth:`note_lost`,
+  which skips ``suspect`` entirely -- a peer that resets sockets is
+  gone *now*). The router routes around it; its ring arcs are served
+  by the next nodes in each key's preference list.
+
+Any success snaps straight back to ``healthy``: probes are cheap and
+periodic, so there is no need for the pool's probation half-step.
+Transitions only move on observed evidence -- no wall-clock timers --
+which keeps the chaos tests deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["BackendHealth", "HEALTHY", "SUSPECT", "DOWN"]
+
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+DOWN = "down"
+
+
+class BackendHealth:
+    """Probe-driven health accounting for one router backend."""
+
+    def __init__(self, down_threshold: int = 3) -> None:
+        if down_threshold < 1:
+            raise ValueError("down_threshold must be at least 1")
+        self.down_threshold = down_threshold
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        #: times the state reached ``down`` (resets never decrement)
+        self.downs = 0
+        #: times a down backend recovered to ``healthy``
+        self.recoveries = 0
+
+    @property
+    def available(self) -> bool:
+        """Whether the router may place requests here (not ``down``)."""
+        return self.state != DOWN
+
+    def note_success(self) -> None:
+        """A probe or a real reply succeeded: snap back to healthy."""
+        if self.state == DOWN:
+            self.recoveries += 1
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+
+    def note_failure(self) -> None:
+        """A probe failed (timeout, refused connect, bad reply)."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.down_threshold:
+            if self.state != DOWN:
+                self.downs += 1
+            self.state = DOWN
+        elif self.state == HEALTHY:
+            self.state = SUSPECT
+
+    def note_lost(self) -> None:
+        """Live traffic saw the connection reset: immediately down."""
+        self.consecutive_failures = max(
+            self.consecutive_failures + 1, self.down_threshold
+        )
+        self.total_failures += 1
+        if self.state != DOWN:
+            self.downs += 1
+        self.state = DOWN
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "downs": self.downs,
+            "recoveries": self.recoveries,
+        }

@@ -1,0 +1,103 @@
+"""Consistent-hash ring for sharding solve requests across backends.
+
+The cluster router places every ``solve`` frame on a backend by
+hashing the request's cache identity -- ``(graph fingerprint, config
+fingerprint)``, the exact key of the per-backend result cache -- onto
+a ring of virtual nodes. Two properties matter:
+
+* **affinity** -- a repeated request always lands on the same backend,
+  so that backend's LRU result cache answers it without re-solving
+  while every other backend's cache stays cold;
+* **stability** -- adding or removing one backend remaps only the keys
+  that hashed into its arcs (~1/N of the keyspace with equal vnode
+  counts), instead of reshuffling everything the way ``hash(key) % N``
+  would.
+
+Each backend contributes ``replicas`` virtual nodes (the classic
+consistent-hashing knob; more vnodes smooth the load split at the cost
+of a larger ring). The ring itself is *membership only*: a backend
+that goes down stays on the ring, and the router skips it when walking
+the :meth:`HashRing.preference` list -- so its keys come straight back
+to it on recovery instead of being permanently re-homed.
+
+Hashing is sha256 truncated to 64 bits: stable across processes and
+Python versions (``hash()`` is salted per process), so a CLI helper
+and the CI smoke script can predict the router's placement offline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Default virtual nodes per backend (the ``--replicas`` CLI knob).
+DEFAULT_REPLICAS = 64
+
+
+def _hash64(data: str) -> int:
+    """First 8 bytes of sha256 as an int (process-stable)."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """An immutable-membership consistent-hash ring over named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Backend names (e.g. ``"127.0.0.1:7421"``); order does not
+        matter, placement depends only on the name strings.
+    replicas:
+        Virtual nodes per backend.
+    """
+
+    def __init__(self, nodes: Sequence[str], replicas: int = DEFAULT_REPLICAS):
+        if not nodes:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node names: {sorted(nodes)}")
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        self.nodes: Tuple[str, ...] = tuple(nodes)
+        self.replicas = replicas
+        points: List[Tuple[int, str]] = []
+        for name in self.nodes:
+            for i in range(replicas):
+                points.append((_hash64(f"{name}#{i}"), name))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [n for _, n in points]
+
+    def node_for(self, key: str) -> str:
+        """The ring owner of ``key`` (first vnode at or after its hash)."""
+        return self.preference(key)[0]
+
+    def preference(self, key: str) -> List[str]:
+        """All nodes in ring order from ``key``'s position, deduplicated.
+
+        Index 0 is the primary; the rest are the failover order. The
+        router walks this list skipping unhealthy entries, which keeps
+        placement deterministic for any given health state.
+        """
+        h = _hash64(key)
+        start = bisect.bisect_left(self._hashes, h) % len(self._hashes)
+        seen: Dict[str, None] = {}
+        for i in range(len(self._owners)):
+            name = self._owners[(start + i) % len(self._owners)]
+            if name not in seen:
+                seen[name] = None
+                if len(seen) == len(self.nodes):
+                    break
+        return list(seen)
+
+    def spread(self, keys: Sequence[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (diagnostics / tests)."""
+        counts = {name: 0 for name in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -1,0 +1,863 @@
+"""The cluster router: one ``repro-wire/1`` front door over N backends.
+
+``Router`` is an asyncio TCP server that speaks the *unmodified*
+``repro-wire/1`` protocol on both sides: clients connect to it exactly
+as they would to a single ``repro serve`` process, and it talks to
+each backend through a multiplexing :class:`~.backend.BackendLink`.
+Three mechanisms, one per module in this package:
+
+**Sharding** (:mod:`~.ring`). Every ``solve`` frame is validated and
+fingerprinted (graph fingerprint + config fingerprint -- the backend
+result-cache key) and placed on a consistent-hash ring, so repeated
+requests land on the same backend and hit its LRU cache while the
+other backends' caches stay cold.
+
+**Health** (:mod:`~.health`). A per-backend probe loop sends periodic
+``status`` frames; missed probes walk a backend through ``healthy ->
+suspect -> down``, and live-traffic connection resets jump straight to
+``down``. Routing skips down backends (counted as ``rebalanced``) but
+the ring keeps them as members, so recovery restores cache affinity.
+
+**Checkpoint-shipped failover**. While a resumable max-clique solve is
+in flight, the router polls the backend's ``checkpoint`` frame and
+keeps the newest completed-window checkpoint. When the backend dies
+mid-solve, the request is re-submitted to the next backend in the
+key's preference order *with that checkpoint attached*, so the replica
+resumes from the last completed window instead of restarting --
+at-most-once window execution is preserved because windows are pure
+and the checkpoint only ever describes *completed* work. Requests of
+non-checkpointable kinds (``k-clique-count``, ``maximal-enum``) simply
+restart cleanly; solves are pure, so a replay is always safe.
+
+See docs/CLUSTER.md for the full semantics, including the retry rules
+per wire error code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import __version__
+from ..core.config import config_fingerprint
+from ..errors import ProtocolError, ServerError
+from ..log import get_logger
+from ..server import protocol
+from ..server.stats import ServerStats
+from .backend import BackendLink, BackendLostError
+from .health import DOWN, BackendHealth
+from .ring import DEFAULT_REPLICAS, HashRing
+
+__all__ = ["RouterConfig", "Router", "RouterThread", "DEFAULT_ROUTER_PORT"]
+
+log = get_logger("cluster.router")
+
+#: Default TCP port of ``repro router`` (one above the server's).
+DEFAULT_ROUTER_PORT = 7431
+
+
+@dataclass
+class RouterConfig:
+    """Knobs of one :class:`Router`.
+
+    ``backends`` are ``(host, port)`` pairs; their ``host:port``
+    strings are the ring node names, so placement is stable across
+    router restarts for the same backend set.
+    """
+
+    backends: Sequence[Tuple[str, int]] = ()
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_ROUTER_PORT  #: 0 picks an ephemeral port
+    #: virtual nodes per backend on the consistent-hash ring
+    replicas: int = DEFAULT_REPLICAS
+    max_conns: int = 64
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: seconds between health probes per backend
+    probe_interval_s: float = 0.5
+    #: seconds a probe may take before it counts as a failure
+    probe_timeout_s: float = 5.0
+    #: consecutive probe failures before a backend goes ``down``
+    down_threshold: int = 3
+    #: seconds between checkpoint polls of in-flight resumable solves
+    checkpoint_poll_s: float = 0.25
+    #: upper bound on placement attempts for one solve (dead backends,
+    #: draining rejects, and checkpoint rejections all consume one)
+    max_attempts: int = 6
+    #: seconds a fresh client connection gets to say hello
+    handshake_timeout_s: float = 10.0
+    #: seconds to wait for in-flight solves during a drain
+    drain_timeout_s: float = 60.0
+
+
+class _ClientConn:
+    """Per-client-connection state (mirrors the server's ``_Conn``)."""
+
+    def __init__(self, cid: int, writer: asyncio.StreamWriter) -> None:
+        self.cid = cid
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        #: client request id -> router id, for outstanding solves
+        self.jobs: Dict[str, str] = {}
+        self.tasks: Set[asyncio.Task] = set()
+        self.closed = False
+
+
+@dataclass
+class _InFlight:
+    """One solve travelling through the router."""
+
+    rid: str  #: router-assigned wire id used towards backends
+    conn: _ClientConn
+    request_id: Optional[str]  #: the client's id, echoed in the reply
+    frame: Dict[str, Any]  #: original solve frame, sans id/checkpoint
+    key: str  #: ring key: "<graph_fp>/<config_fp>"
+    resumable: bool
+    backend: Optional[str] = None  #: name currently solving it
+    checkpoint: Optional[Dict[str, Any]] = None  #: newest shipped state
+    attempts: int = 0
+    failovers: int = 0
+    resumed: bool = False  #: a failover re-submit carried a checkpoint
+    tried: Set[str] = field(default_factory=set)
+
+
+class Router:
+    """Consistent-hash router with health checks and failover."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        if not config.backends:
+            raise ValueError("a router needs at least one backend")
+        self.config = config
+        self.stats = ServerStats()
+        names = [f"{h}:{p}" for h, p in config.backends]
+        self.ring = HashRing(names, replicas=config.replicas)
+        self.links: Dict[str, BackendLink] = {}
+        self.health: Dict[str, BackendHealth] = {}
+        for name, (host, port) in zip(names, config.backends):
+            self.links[name] = BackendLink(
+                name,
+                host,
+                port,
+                max_frame_bytes=config.max_frame_bytes,
+                on_lost=self._on_link_lost,
+            )
+            self.health[name] = BackendHealth(config.down_threshold)
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._done: Optional[asyncio.Event] = None
+        self._draining = False
+        self._conns: Set[_ClientConn] = set()
+        self._inflight: Dict[str, _InFlight] = {}
+        self._bg_tasks: Set[asyncio.Task] = set()
+        self._next_cid = 0
+        self._next_rid = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start probe/poll loops."""
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for name in self.links:
+            self._spawn(self._probe_loop(name))
+        self._spawn(self._checkpoint_poll_loop())
+        log.info(
+            "routing repro-wire/1 on %s:%d over %d backend(s)",
+            self.config.host, self.port, len(self.links),
+        )
+
+    async def serve_until_drained(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._done is not None
+        await self._done.wait()
+
+    def run(self, install_signal_handlers: bool = True) -> None:
+        """Blocking entry point used by ``repro router``."""
+
+        async def _main() -> None:
+            await self.start()
+            if install_signal_handlers:
+                loop = asyncio.get_running_loop()
+                for sig in (signal.SIGTERM, signal.SIGINT):
+                    with contextlib.suppress(NotImplementedError):
+                        loop.add_signal_handler(sig, self.begin_drain)
+            await self.serve_until_drained()
+
+        asyncio.run(_main())
+
+    def begin_drain(self) -> None:
+        """Graceful drain: finish in-flight solves, never touch backends."""
+        if self._draining:
+            return
+        self._draining = True
+        log.info("drain: stopping listener, finishing in-flight solves")
+        assert self._loop is not None
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        tasks = [t for conn in list(self._conns) for t in list(conn.tasks)]
+        if tasks:
+            await asyncio.wait(tasks, timeout=self.config.drain_timeout_s)
+        for task in list(self._bg_tasks):
+            task.cancel()
+        if self._bg_tasks:
+            await asyncio.gather(*self._bg_tasks, return_exceptions=True)
+        for link in self.links.values():
+            await link.close()
+        for conn in list(self._conns):
+            await self._close_conn(conn)
+        assert self._done is not None
+        self._done.set()
+        log.info("drain: complete")
+
+    def _spawn(self, coro) -> asyncio.Task:
+        assert self._loop is not None
+        task = self._loop.create_task(coro)
+        self._bg_tasks.add(task)
+        task.add_done_callback(self._bg_tasks.discard)
+        return task
+
+    # ------------------------------------------------------------------
+    # health probes and link-loss handling
+    # ------------------------------------------------------------------
+    async def _probe_loop(self, name: str) -> None:
+        """Periodically probe one backend with a ``status`` frame."""
+        link, health = self.links[name], self.health[name]
+        seq = 0
+        while True:
+            await asyncio.sleep(self.config.probe_interval_s)
+            seq += 1
+            try:
+                reply = await link.request(
+                    {"type": "status", "id": f"probe-{seq}"},
+                    ("status",),
+                    timeout_s=self.config.probe_timeout_s,
+                )
+            except asyncio.CancelledError:
+                raise
+            except (BackendLostError, asyncio.TimeoutError, ServerError,
+                    ProtocolError) as exc:
+                before = health.state
+                health.note_failure()
+                self.stats.inc("probes.failed")
+                if health.state != before:
+                    log.warning(
+                        "backend %s: %s -> %s (%s)",
+                        name, before, health.state, exc,
+                    )
+                continue
+            if reply.get("type") == "status":
+                before = health.state
+                health.note_success()
+                self.stats.inc("probes.ok")
+                if before == DOWN:
+                    log.info("backend %s recovered", name)
+
+    def _on_link_lost(self, link: BackendLink) -> None:
+        """Live traffic saw this backend's connection reset."""
+        health = self.health.get(link.name)
+        if health is not None and health.state != DOWN:
+            health.note_lost()
+            log.warning("backend %s marked down (connection lost)", link.name)
+
+    # ------------------------------------------------------------------
+    # checkpoint polling (failover state shipping)
+    # ------------------------------------------------------------------
+    async def _checkpoint_poll_loop(self) -> None:
+        """Keep the newest checkpoint of every resumable in-flight solve."""
+        while True:
+            await asyncio.sleep(self.config.checkpoint_poll_s)
+            entries = [
+                e for e in list(self._inflight.values())
+                if e.resumable and e.backend is not None
+            ]
+            for entry in entries:
+                link = self.links.get(entry.backend or "")
+                if link is None or not link.connected:
+                    continue
+                try:
+                    reply = await link.request(
+                        {"type": "checkpoint", "id": entry.rid},
+                        ("checkpoint",),
+                        timeout_s=self.config.probe_timeout_s,
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except (BackendLostError, asyncio.TimeoutError, ServerError,
+                        ProtocolError):
+                    continue  # the solve driver handles real loss
+                ckpt = reply.get("checkpoint")
+                if isinstance(ckpt, dict):
+                    entry.checkpoint = ckpt
+                    self.stats.inc("checkpoints.polled")
+                    self.stats.inc(f"checkpoints.polled.{link.name}")
+
+    # ------------------------------------------------------------------
+    # client connection handling
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.inc("connections.total")
+        conn = _ClientConn(self._next_cid, writer)
+        self._next_cid += 1
+        if self._draining or len(self._conns) >= self.config.max_conns:
+            code = "draining" if self._draining else "too_many_connections"
+            self.stats.inc(f"rejects.{code}")
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(
+                    protocol.encode_frame(
+                        protocol.error_frame(code, f"connection refused: {code}")
+                    )
+                )
+                await writer.drain()
+            writer.close()
+            return
+        with contextlib.suppress(Exception):
+            writer.transport.set_write_buffer_limits(high=256 * 1024)
+        self._conns.add(conn)
+        try:
+            if await self._handshake(conn, reader):
+                await self._read_loop(conn, reader)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._teardown_conn(conn)
+
+    def _hello_frame(self) -> Dict[str, Any]:
+        """The router's capability advert: the backend intersection.
+
+        ``problems`` is the intersection of what every *reachable*
+        backend advertises -- the router only promises what any
+        placement can deliver. With no backend connected yet it
+        advertises the full build capability and lets a mismatching
+        solve fail at placement time.
+        """
+        sets: List[set] = []
+        for link in self.links.values():
+            hello = link.hello
+            if hello and isinstance(hello.get("problems"), list):
+                sets.append(set(hello["problems"]))
+        if sets:
+            inter = set.intersection(*sets)
+            problems = [p for p in protocol.SUPPORTED_PROBLEMS if p in inter]
+        else:
+            problems = list(protocol.SUPPORTED_PROBLEMS)
+        return {
+            "type": "hello",
+            "protocol": protocol.PROTOCOL,
+            "server": f"repro-router/{__version__}",
+            "max_frame_bytes": self.config.max_frame_bytes,
+            "problems": problems,
+            "backends": len(self.links),
+        }
+
+    async def _handshake(
+        self, conn: _ClientConn, reader: asyncio.StreamReader
+    ) -> bool:
+        try:
+            line = await asyncio.wait_for(
+                reader.readline(), self.config.handshake_timeout_s
+            )
+        except asyncio.TimeoutError:
+            await self._send_error(
+                conn, "handshake_required", "no hello frame before timeout"
+            )
+            return False
+        except ValueError:
+            await self._oversized(conn)
+            return False
+        if not line:
+            return False
+        self.stats.inc("frames.in")
+        try:
+            frame = protocol.decode_frame(line)
+        except ProtocolError as exc:
+            await self._send_error(conn, exc.code, str(exc))
+            return False
+        if frame.get("type") != "hello":
+            await self._send_error(
+                conn,
+                "handshake_required",
+                f"first frame must be hello, got {frame.get('type')!r}",
+            )
+            return False
+        if frame.get("protocol") != protocol.PROTOCOL:
+            await self._send_error(
+                conn,
+                "unsupported_protocol",
+                f"router speaks {protocol.PROTOCOL}, "
+                f"client offered {frame.get('protocol')!r}",
+            )
+            return False
+        # handshake every reachable link first so the advert is the
+        # real backend intersection, not the optimistic default
+        await self._connect_links()
+        await self._send(conn, self._hello_frame())
+        return True
+
+    async def _connect_links(self) -> None:
+        """Best-effort connect of every link that is not up yet."""
+
+        async def _try(link: BackendLink) -> None:
+            with contextlib.suppress(BackendLostError):
+                await link.ensure_connected()
+
+        pending = [
+            _try(link) for link in self.links.values() if not link.connected
+        ]
+        if pending:
+            await asyncio.gather(*pending)
+
+    async def _read_loop(
+        self, conn: _ClientConn, reader: asyncio.StreamReader
+    ) -> None:
+        while not conn.closed:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                await self._oversized(conn)
+                return
+            if not line:
+                return
+            self.stats.inc("frames.in")
+            try:
+                frame = protocol.decode_frame(line)
+            except ProtocolError as exc:
+                self.stats.inc("rejects.bad_frame")
+                await self._send_error(conn, exc.code, str(exc))
+                continue
+            await self._dispatch(conn, frame)
+
+    async def _dispatch(self, conn: _ClientConn, frame: Dict[str, Any]) -> None:
+        ftype = frame["type"]
+        if ftype == "solve":
+            await self._on_solve(conn, frame)
+        elif ftype == "stats":
+            await self._send(conn, self.stats_frame())
+        elif ftype in ("status", "checkpoint"):
+            await self._on_forwarded(conn, frame, ftype)
+        elif ftype == "cancel":
+            await self._on_forwarded(conn, frame, "cancel")
+        elif ftype == "shutdown":
+            await self._send(
+                conn,
+                {"type": "bye", "in_flight": len(self._inflight), "queued": 0},
+            )
+            self.begin_drain()
+        elif ftype == "hello":
+            await self._send(conn, self._hello_frame())
+        else:
+            self.stats.inc("rejects.unknown_type")
+            await self._send_error(
+                conn,
+                "unknown_type",
+                f"unknown frame type {ftype!r}",
+                request_id=frame.get("id"),
+            )
+
+    # ------------------------------------------------------------------
+    # solve routing
+    # ------------------------------------------------------------------
+    async def _on_solve(self, conn: _ClientConn, frame: Dict[str, Any]) -> None:
+        request_id = frame.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            await self._send_error(conn, "bad_request", "'id' must be a string")
+            return
+        if request_id is not None and request_id in conn.jobs:
+            await self._send_error(
+                conn,
+                "bad_request",
+                f"request id {request_id!r} is already in flight "
+                f"on this connection",
+                request_id=request_id,
+            )
+            return
+        if self._draining:
+            self.stats.inc("rejects.draining")
+            await self._send_error(
+                conn, "draining", "router is draining", request_id=request_id
+            )
+            return
+        # full validation (graph decode included) runs off the loop;
+        # it also yields the fingerprints that form the ring key
+        loop = asyncio.get_running_loop()
+        try:
+            request, _ = await loop.run_in_executor(
+                None, protocol.solve_request_from_frame, frame
+            )
+        except ProtocolError as exc:
+            self.stats.inc("rejects.bad_request")
+            await self._send_error(conn, exc.code, str(exc), request_id=request_id)
+            return
+        problem = request.config.problem
+        advertised = self._hello_frame()["problems"]
+        if problem not in advertised:
+            self.stats.inc("rejects.unsupported_problem")
+            await self._send_error(
+                conn,
+                "unsupported_problem",
+                f"no backend intersection solves {problem!r} "
+                f"(advertised: {advertised})",
+                request_id=request_id,
+            )
+            return
+        key = (
+            f"{request.graph.fingerprint()}/"
+            f"{config_fingerprint(request.config)}"
+        )
+        rid = f"rt-{self._next_rid}"
+        self._next_rid += 1
+        entry = _InFlight(
+            rid=rid,
+            conn=conn,
+            request_id=request_id,
+            frame={k: v for k, v in frame.items() if k != "id"},
+            key=key,
+            resumable=(
+                request.config.windowed
+                and request.config.window_fanout == 1
+                and problem == "max-clique"
+            ),
+            checkpoint=frame.get("checkpoint"),
+        )
+        self._inflight[rid] = entry
+        if request_id is not None:
+            conn.jobs[request_id] = rid
+        self.stats.inc("solves.accepted")
+        t0 = loop.time()
+        task = loop.create_task(self._drive_solve(entry, t0))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    def _pick_backend(self, entry: _InFlight) -> Tuple[Optional[str], bool]:
+        """The next placement for one solve: (name, was_rebalanced).
+
+        Walks the ring preference list of the entry's key, skipping
+        down backends and ones this solve already died on. Returns
+        ``(None, _)`` when nothing is placeable.
+        """
+        pref = self.ring.preference(entry.key)
+        rebalanced = False
+        for i, name in enumerate(pref):
+            if not self.health[name].available or name in entry.tried:
+                rebalanced = rebalanced or (i == 0)
+                continue
+            return name, (i > 0)
+        # every backend tried: allow a second lap over live ones
+        for name in pref:
+            if self.health[name].available:
+                return name, True
+        return None, False
+
+    async def _drive_solve(self, entry: _InFlight, t0: float) -> None:
+        """Place one solve, following it through failovers to a reply."""
+        loop = asyncio.get_running_loop()
+        try:
+            while entry.attempts < self.config.max_attempts:
+                name, rebalanced = self._pick_backend(entry)
+                if name is None:
+                    self.stats.inc("rejects.no_backend")
+                    await self._send_error(
+                        entry.conn,
+                        "no_backend",
+                        "no healthy backend available for this request",
+                        request_id=entry.request_id,
+                        retry_after_s=self.config.probe_interval_s,
+                    )
+                    return
+                entry.attempts += 1
+                entry.backend = name
+                wire = dict(entry.frame)
+                wire["id"] = entry.rid
+                shipped = None
+                if entry.resumable and entry.checkpoint is not None:
+                    wire["checkpoint"] = entry.checkpoint
+                    shipped = entry.checkpoint
+                self.stats.inc("routed.total")
+                self.stats.inc(f"routed.{name}")
+                if rebalanced:
+                    self.stats.inc("rebalanced.total")
+                    self.stats.inc(f"rebalanced.{name}")
+                link = self.links[name]
+                try:
+                    reply = await link.request(wire, ("result",))
+                except BackendLostError:
+                    entry.backend = None
+                    entry.tried.add(name)
+                    entry.failovers += 1
+                    self.health[name].note_failure()
+                    if shipped is not None or (
+                        entry.resumable and entry.checkpoint is not None
+                    ):
+                        entry.resumed = True
+                        self.stats.inc("failover.resumed")
+                    self.stats.inc("failover.total")
+                    self.stats.inc(f"failover.{name}")
+                    log.warning(
+                        "solve %s lost backend %s (attempt %d); "
+                        "re-routing%s",
+                        entry.rid, name, entry.attempts,
+                        " with checkpoint" if entry.checkpoint else "",
+                    )
+                    continue
+                except ServerError as exc:
+                    entry.backend = None
+                    if exc.retriable:
+                        # draining / busy / rate limited: someone else
+                        # may take it; re-submitting a pure solve is safe
+                        entry.tried.add(name)
+                        self.stats.inc("resubmits.total")
+                        self.stats.inc(f"resubmits.{exc.code}")
+                        delay = getattr(exc, "retry_after_s", None)
+                        if delay:
+                            await asyncio.sleep(min(float(delay), 1.0))
+                        continue
+                    self.stats.inc(f"solves.{exc.code}")
+                    await self._send_error(
+                        entry.conn,
+                        exc.code,
+                        str(exc),
+                        request_id=entry.request_id,
+                    )
+                    return
+                entry.backend = None
+                record = reply.get("record") or {}
+                if (
+                    shipped is not None
+                    and record.get("status") == "failed"
+                    and str(record.get("error", "")).startswith(
+                        "CheckpointError"
+                    )
+                ):
+                    # the replica rejected the shipped state (e.g. the
+                    # executed config differed): drop it, restart clean
+                    entry.checkpoint = None
+                    entry.resumed = False
+                    self.stats.inc("failover.checkpoint_rejected")
+                    log.warning(
+                        "solve %s: replica rejected shipped checkpoint; "
+                        "restarting clean", entry.rid,
+                    )
+                    continue
+                self.health[name].note_success()
+                self.stats.latency.record(loop.time() - t0)
+                status = record.get("status", "ok")
+                self.stats.inc(
+                    "solves.ok" if status == "ok" else f"solves.{status}"
+                )
+                if entry.resumed:
+                    self.stats.inc("solves.resumed_ok")
+                out = dict(reply)
+                if entry.request_id is not None:
+                    out["id"] = entry.request_id
+                else:
+                    out.pop("id", None)
+                await self._send(entry.conn, out)
+                return
+            self.stats.inc("rejects.no_backend")
+            await self._send_error(
+                entry.conn,
+                "no_backend",
+                f"placement failed after {entry.attempts} attempt(s)",
+                request_id=entry.request_id,
+            )
+        finally:
+            self._inflight.pop(entry.rid, None)
+            if entry.request_id is not None:
+                entry.conn.jobs.pop(entry.request_id, None)
+
+    # ------------------------------------------------------------------
+    # forwarded small frames
+    # ------------------------------------------------------------------
+    async def _on_forwarded(
+        self, conn: _ClientConn, frame: Dict[str, Any], ftype: str
+    ) -> None:
+        """Relay status/cancel/checkpoint to the owning backend."""
+        request_id = frame.get("id")
+        if not isinstance(request_id, str):
+            await self._send_error(
+                conn, "bad_request", f"{ftype} needs an 'id' string"
+            )
+            return
+        reply_type = "status" if ftype == "cancel" else ftype
+        rid = conn.jobs.get(request_id)
+        entry = self._inflight.get(rid) if rid is not None else None
+        if entry is None or entry.backend is None:
+            out: Dict[str, Any] = {
+                "type": reply_type,
+                "id": request_id,
+                "state": "unknown",
+            }
+            if ftype == "cancel":
+                out["cancelled"] = False
+            if ftype == "checkpoint":
+                out["checkpoint"] = (
+                    entry.checkpoint if entry is not None else None
+                )
+            await self._send(conn, out)
+            return
+        link = self.links[entry.backend]
+        try:
+            reply = await link.request(
+                {"type": ftype, "id": entry.rid},
+                (reply_type,),
+                timeout_s=self.config.probe_timeout_s,
+            )
+        except (BackendLostError, asyncio.TimeoutError, ServerError,
+                ProtocolError):
+            await self._send(
+                conn,
+                {"type": reply_type, "id": request_id, "state": "unknown"},
+            )
+            return
+        out = dict(reply)
+        out["id"] = request_id
+        await self._send(conn, out)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats_frame(self) -> Dict[str, Any]:
+        """The router's ``stats`` frame: router gauges + per-backend view."""
+        backends: Dict[str, Any] = {}
+        for name, link in self.links.items():
+            backends[name] = {
+                "health": self.health[name].to_dict(),
+                "connected": link.connected,
+                "server": (link.hello or {}).get("server"),
+                "problems": (link.hello or {}).get("problems"),
+                "routed": self.stats.get(f"routed.{name}"),
+                "failed_over": self.stats.get(f"failover.{name}"),
+                "rebalanced": self.stats.get(f"rebalanced.{name}"),
+            }
+        return {
+            "type": "stats",
+            "router": self.stats.snapshot(
+                connections_open=len(self._conns),
+                in_flight=len(self._inflight),
+                draining=self._draining,
+                backends_total=len(self.links),
+                backends_available=sum(
+                    1 for h in self.health.values() if h.available
+                ),
+                ring_replicas=self.ring.replicas,
+            ),
+            "backends": backends,
+        }
+
+    # ------------------------------------------------------------------
+    # writing and teardown (same discipline as the server)
+    # ------------------------------------------------------------------
+    async def _send(self, conn: _ClientConn, frame: Dict[str, Any]) -> None:
+        if conn.closed:
+            return
+        data = protocol.encode_frame(frame)
+        try:
+            async with conn.write_lock:
+                conn.writer.write(data)
+                await conn.writer.drain()
+            self.stats.inc("frames.out")
+        except (ConnectionError, OSError):
+            conn.closed = True
+
+    async def _send_error(
+        self,
+        conn: _ClientConn,
+        code: str,
+        message: str,
+        request_id: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        self.stats.inc("errors.sent")
+        await self._send(
+            conn, protocol.error_frame(code, message, request_id, retry_after_s)
+        )
+
+    async def _oversized(self, conn: _ClientConn) -> None:
+        self.stats.inc("rejects.frame_too_large")
+        await self._send_error(
+            conn,
+            "frame_too_large",
+            f"frame exceeds max_frame_bytes={self.config.max_frame_bytes}",
+        )
+        await self._close_conn(conn)
+
+    async def _close_conn(self, conn: _ClientConn) -> None:
+        if conn.closed:
+            self._conns.discard(conn)
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        with contextlib.suppress(ConnectionError, OSError):
+            conn.writer.close()
+
+    async def _teardown_conn(self, conn: _ClientConn) -> None:
+        for task in list(conn.tasks):
+            task.cancel()
+        await self._close_conn(conn)
+
+
+class RouterThread:
+    """Run a :class:`Router` on a background thread (tests, benchmarks).
+
+    >>> backends = [("127.0.0.1", b1.port), ("127.0.0.1", b2.port)]
+    >>> handle = RouterThread(RouterConfig(backends=backends, port=0))
+    >>> handle.start()
+    >>> client = SolveClient(port=handle.port)
+    ...
+    >>> handle.stop()
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.router = Router(config)
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="solve-router", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            await self.router.start()
+            self._ready.set()
+            await self.router.serve_until_drained()
+
+        try:
+            asyncio.run(_main())
+        finally:
+            self._ready.set()
+
+    def start(self, timeout_s: float = 10.0) -> "RouterThread":
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise RuntimeError("router thread failed to start in time")
+        if self.router.port is None:
+            raise RuntimeError("router failed to bind (see log)")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.router.port is not None
+        return self.router.port
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        loop = self.router._loop
+        if loop is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self.router.begin_drain)
+        self._thread.join(timeout_s)

@@ -76,6 +76,8 @@ class SolveBridge:
         self._cond = threading.Condition()
         self._queue: List[_Pending] = []
         self._states: Dict[str, str] = {}
+        #: job id -> newest completed-window checkpoint (in-flight only)
+        self._checkpoints: Dict[str, object] = {}
         self._in_flight = 0
         self._draining = False
         self._stopped = False
@@ -108,11 +110,35 @@ class SolveBridge:
                 raise BridgeQueueFull(len(self._queue))
             if request.job_id is None:
                 raise ValueError("bridge requests need a pre-assigned job_id")
+            # expose the newest completed-window checkpoint of this job
+            # while it is in flight (the ``checkpoint`` wire frame and,
+            # through it, the cluster router's failover shipping)
+            job_id = request.job_id
+            if request.checkpoint_sink is None:
+                request.checkpoint_sink = (
+                    lambda ckpt, _id=job_id: self._store_checkpoint(_id, ckpt)
+                )
             self._queue.append(_Pending(request, future))
             self._states[request.job_id] = QUEUED
             self._idle.clear()
             self._cond.notify()
         return future
+
+    def _store_checkpoint(self, job_id: str, ckpt) -> None:
+        """Record the latest checkpoint (called from the worker thread)."""
+        with self._cond:
+            self._checkpoints[job_id] = ckpt
+
+    def checkpoint(self, job_id: str):
+        """The newest completed-window checkpoint of an in-flight job.
+
+        Returns a :class:`~repro.core.checkpoint.SearchCheckpoint` or
+        None (job unknown, finished, or not resumable). Checkpoints are
+        dropped once the job completes -- a finished job's result is
+        the better artefact.
+        """
+        with self._cond:
+            return self._checkpoints.get(job_id)
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a still-queued job; running jobs cannot be stopped.
@@ -212,6 +238,15 @@ class SolveBridge:
                     self._in_flight = 0
 
     def _run_batch(self, batch: List[_Pending]) -> None:
+        try:
+            self._run_batch_inner(batch)
+        finally:
+            # finished jobs no longer expose a resume point
+            with self._cond:
+                for pending in batch:
+                    self._checkpoints.pop(pending.request.job_id, None)
+
+    def _run_batch_inner(self, batch: List[_Pending]) -> None:
         by_id = {p.request.job_id: p for p in batch}
         try:
             for pending in batch:

@@ -31,13 +31,35 @@ __all__ = ["SolveClient"]
 log = get_logger("server.client")
 
 
+def _parse_address(addr) -> "tuple":
+    """Normalise ``"host:port"`` / ``(host, port)`` into a tuple."""
+    if isinstance(addr, (tuple, list)) and len(addr) == 2:
+        return str(addr[0]), int(addr[1])
+    if isinstance(addr, str):
+        host, sep, port = addr.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ValueError(
+                f"address {addr!r} is not of the form host:port"
+            )
+        return host or "127.0.0.1", int(port)
+    raise TypeError(f"cannot parse {addr!r} as a server address")
+
+
 class SolveClient:
-    """Blocking client for one solve server.
+    """Blocking client for one solve server -- or a rotation of several.
 
     Parameters
     ----------
     host / port:
-        Server address (``repro serve`` defaults).
+        Server address (``repro serve`` defaults). Ignored when
+        ``addresses`` is given.
+    addresses:
+        Optional list of server addresses (``"host:port"`` strings or
+        ``(host, port)`` tuples). The client talks to one at a time
+        and rotates to the next on a connection failure or a
+        ``draining`` reject -- the building block the cluster router's
+        clients and ``repro client --addr`` use. A single-entry list
+        behaves exactly like ``host``/``port``.
     timeout_s:
         Socket timeout applied to every read: a solve must answer
         within this budget (set it above your largest expected solve).
@@ -61,9 +83,13 @@ class SolveClient:
         backoff_s: float = 0.2,
         backoff_max_s: float = 3.0,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        addresses: Optional[list] = None,
     ) -> None:
-        self.host = host
-        self.port = port
+        if addresses:
+            self.addresses = [_parse_address(a) for a in addresses]
+        else:
+            self.addresses = [(host, int(port))]
+        self._addr_index = 0
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
@@ -81,10 +107,32 @@ class SolveClient:
     def connected(self) -> bool:
         return self._sock is not None
 
+    @property
+    def host(self) -> str:
+        """Host of the address currently targeted."""
+        return self.addresses[self._addr_index][0]
+
+    @property
+    def port(self) -> int:
+        """Port of the address currently targeted."""
+        return self.addresses[self._addr_index][1]
+
+    def _rotate(self) -> bool:
+        """Advance to the next configured address; True when it moved."""
+        if len(self.addresses) < 2:
+            return False
+        self.close()
+        self._addr_index = (self._addr_index + 1) % len(self.addresses)
+        log.debug("rotated to %s:%d", self.host, self.port)
+        return True
+
     def connect(self) -> Dict[str, Any]:
         """Connect (with backoff on refusal) and complete the handshake.
 
-        Returns the server's hello frame.
+        With several addresses configured, each failed attempt rotates
+        to the next one before backing off, so a single dead server
+        never exhausts the retry budget. Returns the server's hello
+        frame.
         """
         if self._sock is not None:
             assert self.server_hello is not None
@@ -99,8 +147,11 @@ class SolveClient:
             except OSError as exc:
                 self._sock = None
                 if attempt >= self.retries:
+                    targets = ", ".join(
+                        f"{h}:{p}" for h, p in self.addresses
+                    )
                     raise ServerError(
-                        f"cannot connect to {self.host}:{self.port}: {exc}",
+                        f"cannot connect to {targets}: {exc}",
                         code="unreachable",
                         retriable=True,
                     ) from exc
@@ -108,6 +159,7 @@ class SolveClient:
                     "connect to %s:%d failed (%s); retrying in %.2fs",
                     self.host, self.port, exc, backoff,
                 )
+                self._rotate()
                 time.sleep(backoff)
                 backoff = min(backoff * 2, self.backoff_max_s)
         self._file = self._sock.makefile("rb")
@@ -199,7 +251,14 @@ class SolveClient:
         return frame
 
     def _round_trip(self, frame: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one frame and read one reply, retrying retriable failures."""
+        """Send one frame and read one reply, retrying retriable failures.
+
+        Connection failures and ``draining`` rejects rotate to the
+        next configured address (when there is one) before retrying;
+        other retriable error frames (``server_busy``,
+        ``rate_limited``) stay on the same server, which asked for
+        patience rather than a different replica.
+        """
         backoff = self.backoff_s
         for attempt in range(self.retries + 1):
             try:
@@ -214,11 +273,14 @@ class SolveClient:
                         code="unreachable",
                         retriable=True,
                     ) from exc
+                self._rotate()
                 delay = backoff
             except ServerError as exc:
                 if not exc.retriable or attempt >= self.retries:
                     raise
                 delay = getattr(exc, "retry_after_s", None) or backoff
+                if exc.code == "draining" and self._rotate():
+                    delay = 0.0
             log.debug(
                 "request retrying in %.2fs (attempt %d/%d)",
                 delay, attempt + 1, self.retries,
@@ -238,6 +300,7 @@ class SolveClient:
         timeout_s: Optional[float] = None,
         label: str = "",
         max_report: Optional[int] = None,
+        checkpoint: Optional[Dict[str, Any]] = None,
         **config_kwargs: Any,
     ) -> Dict[str, Any]:
         """Solve one graph remotely; returns the ``result`` frame.
@@ -253,6 +316,11 @@ class SolveClient:
         server's hello advertised, so asking for one the server lacks
         raises a non-retriable ``unsupported_problem``
         :class:`~repro.errors.ServerError` without a round trip.
+
+        ``checkpoint`` optionally ships a serialised
+        ``repro-checkpoint/1`` dict for the server to resume the
+        windowed max-clique search from (the cluster router's failover
+        path; also handy for tests).
 
         The returned frame's ``record`` is the JSON job record,
         ``cliques`` the clique membership rows (absent for counting
@@ -291,6 +359,8 @@ class SolveClient:
             frame["label"] = label
         if max_report is not None:
             frame["max_report"] = max_report
+        if checkpoint is not None:
+            frame["checkpoint"] = checkpoint
         reply = self._round_trip(frame)
         if reply.get("type") != "result":
             raise ProtocolError(

@@ -3,9 +3,14 @@
 One frame is one JSON object on one line, UTF-8, terminated by
 ``\\n``. The first client frame must be ``hello`` (protocol
 negotiation); after that the client may pipeline ``solve``,
-``status``, ``stats``, ``cancel``, and ``shutdown`` frames and the
-server answers each (``solve`` asynchronously, everything else
-immediately). Server-level failures travel as ``error`` frames whose
+``status``, ``stats``, ``cancel``, ``checkpoint``, and ``shutdown``
+frames and the server answers each (``solve`` asynchronously,
+everything else immediately). A ``checkpoint`` frame fetches the
+latest completed-window :class:`~repro.core.checkpoint.SearchCheckpoint`
+of an in-flight solve, and a ``solve`` frame may carry a
+``checkpoint`` payload to resume from -- together they are how the
+cluster router (docs/CLUSTER.md) fails a mid-solve request over to a
+replica. Server-level failures travel as ``error`` frames whose
 ``code``/``retriable``/``exit_code`` fields reuse the existing error
 taxonomy and CLI exit-code semantics (2 OOM, 3 timeout, 4 device
 lost). docs/SERVER.md is the human-readable spec; this module is the
@@ -76,7 +81,7 @@ MAX_FRAME_BYTES = 8 << 20
 
 #: Frame types a client may send after the handshake.
 CLIENT_TYPES = frozenset(
-    {"hello", "solve", "status", "stats", "cancel", "shutdown"}
+    {"hello", "solve", "status", "stats", "cancel", "shutdown", "checkpoint"}
 )
 
 #: Wire error codes: ``code -> (retriable, exit_code)``. Retriable
@@ -96,13 +101,16 @@ ERROR_CODES: Dict[str, Tuple[bool, int]] = {
     "server_busy": (True, 1),
     "draining": (True, 1),
     "too_many_connections": (True, 1),
+    #: a router found no healthy backend to place the request on --
+    #: backends may recover, so the identical request can succeed later
+    "no_backend": (True, 1),
     "cancelled": (False, 1),
     "internal": (False, 1),
 }
 
 _SOLVE_KEYS = frozenset(
     {"type", "id", "graph", "problem", "config", "timeout_s", "label",
-     "max_report"}
+     "max_report", "checkpoint"}
 )
 _CONFIG_FIELDS = frozenset(SolverConfig.__dataclass_fields__)
 
@@ -329,11 +337,37 @@ def solve_request_from_frame(frame: Dict[str, Any]):
         raise ProtocolError(
             "'max_report' must be a non-negative integer", code="bad_request"
         )
+    checkpoint = None
+    ckpt_payload = frame.get("checkpoint")
+    if ckpt_payload is not None:
+        from ..core.checkpoint import SearchCheckpoint
+        from ..errors import CheckpointError
+
+        try:
+            checkpoint = SearchCheckpoint.from_dict(
+                ckpt_payload, source="<wire checkpoint>"
+            )
+        except CheckpointError as exc:
+            raise ProtocolError(
+                f"bad checkpoint payload: {exc}", code="bad_request"
+            ) from exc
+        # the graph identity is checkable right here; the config
+        # fingerprint is stamped from the *executed* config, which
+        # admission decides later -- the solver verifies it on resume
+        if (
+            checkpoint.graph_fingerprint
+            and checkpoint.graph_fingerprint != graph.fingerprint()
+        ):
+            raise ProtocolError(
+                "checkpoint was taken against a different graph",
+                code="bad_request",
+            )
     request = SolveRequest(
         graph=graph,
         config=config,
         timeout_s=timeout_s,
         label=label,
+        checkpoint=checkpoint,
     )
     return request, max_report
 

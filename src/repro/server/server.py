@@ -154,6 +154,26 @@ class SolveServer:
         assert self._loop is not None
         self._loop.create_task(self._drain())
 
+    def kill(self) -> None:
+        """Crash the server: abort every socket, no drain, no goodbyes.
+
+        The chaos-harness counterpart of :meth:`begin_drain` -- from a
+        peer's perspective this is indistinguishable from a SIGKILL'd
+        process (connections reset mid-frame, queued and in-flight
+        results never delivered). Must run on the event loop.
+        """
+        if self._server is not None:
+            self._server.close()
+        for conn in list(self._conns):
+            conn.closed = True
+            self._conns.discard(conn)
+            with contextlib.suppress(Exception):
+                conn.writer.transport.abort()
+        self._draining = True
+        if self._done is not None:
+            self._done.set()
+        log.info("killed: all connections aborted")
+
     async def _drain(self) -> None:
         if self._server is not None:
             self._server.close()
@@ -289,6 +309,8 @@ class SolveServer:
             await self._on_status(conn, frame)
         elif ftype == "cancel":
             await self._on_cancel(conn, frame)
+        elif ftype == "checkpoint":
+            await self._on_checkpoint(conn, frame)
         elif ftype == "shutdown":
             await self._send(
                 conn,
@@ -438,6 +460,33 @@ class SolveServer:
             },
         )
 
+    async def _on_checkpoint(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        """Report the latest resumable state of an in-flight solve.
+
+        The reply carries the newest completed-window checkpoint (or
+        null when the job is unknown, finished, or not resumable) --
+        this is what the cluster router polls so it can fail a dying
+        backend's solve over to a replica (docs/CLUSTER.md).
+        """
+        request_id = frame.get("id")
+        if not isinstance(request_id, str):
+            await self._send_error(
+                conn, "bad_request", "checkpoint needs an 'id' string"
+            )
+            return
+        job_id = conn.jobs.get(request_id)
+        state = self.bridge.state(job_id) if job_id is not None else "unknown"
+        ckpt = self.bridge.checkpoint(job_id) if job_id is not None else None
+        await self._send(
+            conn,
+            {
+                "type": "checkpoint",
+                "id": request_id,
+                "state": state,
+                "checkpoint": ckpt.to_dict() if ckpt is not None else None,
+            },
+        )
+
     def _stats_frame(self) -> Dict[str, Any]:
         tracer = getattr(self.service, "tracer", None)
         if isinstance(tracer, CounterTracer):
@@ -573,3 +622,16 @@ class ServerThread:
             loop.call_soon_threadsafe(self.server.begin_drain)
         self._thread.join(timeout_s)
         self.server.bridge.stop(timeout_s)
+
+    def kill(self, timeout_s: float = 10.0) -> None:
+        """Simulate a crash: abort all sockets, skip the drain entirely.
+
+        Used by the cluster chaos tests -- peers observe connection
+        resets exactly as they would for a SIGKILL'd ``repro serve``
+        process. The bridge worker (a daemon thread) may still be
+        mid-solve; its results go nowhere.
+        """
+        loop = self.server._loop
+        if loop is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self.server.kill)
+        self._thread.join(timeout_s)

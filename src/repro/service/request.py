@@ -52,6 +52,17 @@ class SolveRequest:
     label:
         Free-form annotation carried into the record (e.g. the graph's
         file or dataset name).
+    checkpoint:
+        Optional :class:`~repro.core.checkpoint.SearchCheckpoint` to
+        resume the windowed max-clique search from (checkpoint-shipped
+        failover: the cluster router attaches one fetched from a dying
+        backend). Ignored whenever the executed configuration is not
+        resumable (non-windowed, ``window_fanout > 1``, or a
+        non-max-clique kind) -- those restart cleanly.
+    checkpoint_sink:
+        Optional callback invoked with a stamped checkpoint after
+        every completed window, so callers (the server bridge) can
+        expose the latest resumable state of an in-flight job.
     """
 
     graph: CSRGraph
@@ -60,6 +71,10 @@ class SolveRequest:
     priority: int = 0
     timeout_s: Optional[float] = None
     label: str = ""
+    checkpoint: Optional[Any] = field(default=None, repr=False, compare=False)
+    checkpoint_sink: Optional[Any] = field(
+        default=None, repr=False, compare=False
+    )
 
     #: submission sequence number, assigned by the service (FIFO key)
     seq: int = field(default=0, repr=False, compare=False)

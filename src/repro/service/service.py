@@ -43,6 +43,7 @@ from ..core.result import KCliqueCountResult, MaximalEnumResult
 from ..core.solver import MaxCliqueSolver
 from ..engine.executor import Executor, resolve_executor
 from ..errors import (
+    CheckpointError,
     DeviceLostError,
     DeviceOOMError,
     FlakyAllocError,
@@ -360,19 +361,34 @@ class SolveService:
         ladder_attempts = 0
         checkpoint = None  # resume point for the next launch
         latest = [None]  # newest completed-window checkpoint (sink cell)
+        external_sink = request.checkpoint_sink
+
+        def _resumable(cfg: SolverConfig) -> bool:
+            # resume is only sound for sequential windowed max-clique
+            # sweeps (other kinds carry cross-window accumulators a
+            # window checkpoint cannot express)
+            return (
+                cfg.windowed
+                and cfg.window_fanout == 1
+                and cfg.problem == "max-clique"
+            )
+
+        if request.checkpoint is not None and _resumable(config):
+            # checkpoint-shipped failover: a router (or caller) handed
+            # us the resume point of a solve that died elsewhere
+            checkpoint = request.checkpoint
+            self.tracer.counter("service.checkpoint.shipped_resumes")
 
         while True:
             record.attempts += 1
             m0 = device.model_time_s
-            # capture resumable state only where resume is possible:
-            # sequential windowed max-clique sweeps (other kinds carry
-            # cross-window accumulators a window checkpoint cannot express)
-            if (
-                config.windowed
-                and config.window_fanout == 1
-                and config.problem == "max-clique"
-            ):
-                sink = lambda ckpt: latest.__setitem__(0, ckpt)  # noqa: E731
+            if _resumable(config):
+                if external_sink is not None:
+                    def sink(ckpt, _latest=latest):
+                        _latest[0] = ckpt
+                        external_sink(ckpt)
+                else:
+                    sink = lambda ckpt: latest.__setitem__(0, ckpt)  # noqa: E731
             else:
                 sink = None
             try:
@@ -454,6 +470,15 @@ class SolveService:
                     " (resuming from checkpoint)" if checkpoint is not None else "",
                 )
                 continue
+            except CheckpointError as exc:
+                # a shipped checkpoint failed identity validation (or
+                # the config turned out non-resumable): the job fails
+                # cleanly so the shipper can retry without a checkpoint
+                record.model_time_s += device.model_time_s - m0
+                record.error = f"{type(exc).__name__}: {exc}"
+                self.tracer.counter("service.checkpoint.rejected")
+                self.pool.note_success(dev_index)
+                return
             except (DeviceOOMError, SolveTimeoutError) as exc:
                 record.model_time_s += device.model_time_s - m0
                 record.error = f"{type(exc).__name__}: {exc}"

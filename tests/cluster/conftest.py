@@ -1,0 +1,243 @@
+"""Shared fixtures for the cluster-tier tests.
+
+Backends are real :class:`ServerThread` servers on ephemeral ports;
+the router is a :class:`RouterThread` in the same process, so chaos
+tests can kill a backend (transport aborts -- observably identical to
+a SIGKILL'd process) and read the router's counters directly.
+``FakeBackend`` is a minimal scripted peer for wire edge cases a real
+server would never produce (mismatching hello adverts, permanent
+``draining`` rejects).
+"""
+
+import json
+import socket
+import socketserver
+import threading
+import time
+
+import pytest
+
+from repro.cluster import RouterConfig, RouterThread
+from repro.server import ServerConfig, ServerThread, SolveClient, protocol
+from repro.service import SolveService
+
+from tests.server.conftest import RawConn  # noqa: F401  (re-exported fixture dep)
+
+#: aggressive timings so chaos tests converge in well under a second
+FAST = dict(
+    probe_interval_s=0.05,
+    probe_timeout_s=2.0,
+    checkpoint_poll_s=0.02,
+    down_threshold=2,
+)
+
+
+class SlowWindowService(SolveService):
+    """A service whose every completed window sleeps on the host.
+
+    Deterministic slowness for the failover tests: the solve takes
+    ``window_delay_s`` x windows of wall time, and every window ships
+    a checkpoint through the bridge sink, so the router's poll loop is
+    guaranteed material to fetch before the kill.
+    """
+
+    def __init__(self, window_delay_s, **kwargs):
+        super().__init__(**kwargs)
+        self._window_delay_s = window_delay_s
+
+    def submit(self, request):
+        sink = request.checkpoint_sink
+        if sink is not None:
+            def slow_sink(ckpt, _sink=sink):
+                time.sleep(self._window_delay_s)
+                _sink(ckpt)
+
+            request.checkpoint_sink = slow_sink
+        return super().submit(request)
+
+
+@pytest.fixture
+def make_backend():
+    """Factory for backend servers; stopped (best effort) at teardown."""
+    handles = []
+
+    def _make(service=None, config=None, **service_kwargs):
+        if service is None:
+            service = SolveService(**service_kwargs)
+        if config is None:
+            config = ServerConfig(port=0)
+        handle = ServerThread(service, config)
+        handles.append(handle)
+        return handle.start()
+
+    yield _make
+    for handle in handles:
+        handle.stop(timeout_s=10.0)
+
+
+@pytest.fixture
+def make_router():
+    """Factory for routers over started backends (fast test timings)."""
+    handles = []
+
+    def _make(backends, **overrides):
+        addrs = [
+            ("127.0.0.1", b.port if hasattr(b, "port") else b[1])
+            for b in backends
+        ]
+        kwargs = dict(FAST)
+        kwargs.update(overrides)
+        handle = RouterThread(
+            RouterConfig(backends=addrs, port=0, **kwargs)
+        )
+        handles.append(handle)
+        return handle.start()
+
+    yield _make
+    for handle in handles:
+        handle.stop(timeout_s=10.0)
+
+
+@pytest.fixture
+def make_client():
+    clients = []
+
+    def _make(handle_or_port, **kwargs):
+        port = getattr(handle_or_port, "port", handle_or_port)
+        kwargs.setdefault("retries", 3)
+        kwargs.setdefault("timeout_s", 60.0)
+        kwargs.setdefault("backoff_s", 0.05)
+        client = SolveClient(port=port, **kwargs)
+        clients.append(client)
+        return client
+
+    yield _make
+    for client in clients:
+        client.close()
+
+
+@pytest.fixture
+def raw_conn():
+    """RawConn factory (same contract as the server suite's fixture)."""
+    conns = []
+
+    def _make(handle_or_port, **kwargs):
+        port = getattr(handle_or_port, "port", handle_or_port)
+        conn = RawConn(port, **kwargs)
+        conns.append(conn)
+        return conn
+
+    yield _make
+    for conn in conns:
+        conn.close()
+
+
+class _FakeHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        script = self.server.script
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            try:
+                frame = json.loads(line.decode("utf-8"))
+            except ValueError:
+                return
+            reply = script(frame)
+            if reply is None:
+                return
+            self.wfile.write(protocol.encode_frame(reply))
+            self.wfile.flush()
+
+
+class FakeBackend:
+    """A scripted ``repro-wire/1`` peer for protocol edge cases.
+
+    ``script(frame) -> reply frame`` decides every answer; the default
+    answers hellos (with a configurable ``problems`` advert) and
+    status probes, and rejects solves with a retriable ``draining``.
+    """
+
+    def __init__(self, problems=None, solve_reply=None):
+        self.problems = (
+            list(protocol.SUPPORTED_PROBLEMS) if problems is None else problems
+        )
+        self.solve_reply = solve_reply
+        self.server = socketserver.ThreadingTCPServer(
+            ("127.0.0.1", 0), _FakeHandler
+        )
+        self.server.daemon_threads = True
+        self.server.script = self._script
+        self.port = self.server.server_address[1]
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def _script(self, frame):
+        ftype = frame.get("type")
+        if ftype == "hello":
+            return {
+                "type": "hello",
+                "protocol": protocol.PROTOCOL,
+                "server": "fake/0",
+                "max_frame_bytes": protocol.MAX_FRAME_BYTES,
+                "problems": self.problems,
+            }
+        if ftype == "status":
+            return {
+                "type": "status",
+                "id": frame.get("id"),
+                "state": "unknown",
+            }
+        if ftype == "checkpoint":
+            return {
+                "type": "checkpoint",
+                "id": frame.get("id"),
+                "state": "unknown",
+                "checkpoint": None,
+            }
+        if ftype == "solve":
+            if self.solve_reply is not None:
+                return self.solve_reply(frame)
+            return protocol.error_frame(
+                "draining",
+                "fake backend is draining",
+                request_id=frame.get("id"),
+                retry_after_s=0.01,
+            )
+        return protocol.error_frame("unknown_type", f"fake: {ftype!r}")
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+@pytest.fixture
+def fake_backend():
+    fakes = []
+
+    def _make(**kwargs):
+        fake = FakeBackend(**kwargs)
+        fakes.append(fake)
+        return fake
+
+    yield _make
+    for fake in fakes:
+        fake.close()
+
+
+def wait_until(predicate, timeout_s=20.0, interval_s=0.01, message="condition"):
+    """Poll ``predicate`` until true; raise on timeout."""
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(interval_s)
+
+
+def free_port():
+    """An OS-assigned TCP port that nothing is listening on."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

@@ -1,0 +1,196 @@
+"""Chaos tests: kill a backend mid-solve, watch the router recover.
+
+``ServerThread.kill()`` aborts every transport of the backend without
+any goodbye -- to the router it is indistinguishable from a SIGKILL'd
+process. The acceptance bar (ISSUE.md): the client sees a normal
+``ok`` result, byte-identical to a fault-free single-server run, and
+for a resumable solve the router must have shipped a polled
+``SearchCheckpoint`` to the replica (``failover.resumed``) rather than
+restarting from scratch.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import SolveService
+
+from .conftest import SlowWindowService, wait_until
+
+
+class SlowStartService(SolveService):
+    """Holds every submit on the host for ``delay_s`` before solving.
+
+    A kill window for *non-checkpointable* kinds: the job is accepted
+    (the router's link.request is pending) but no work has happened
+    yet, so a clean restart on a replica is trivially correct.
+    """
+
+    def __init__(self, delay_s, **kwargs):
+        super().__init__(**kwargs)
+        self._delay_s = delay_s
+
+    def submit(self, request):
+        time.sleep(self._delay_s)
+        return super().submit(request)
+
+
+def solve_in_thread(client, graph, **kwargs):
+    """Run client.solve on a thread; returns (thread, box)."""
+    box = {}
+
+    def _run():
+        try:
+            box["reply"] = client.solve(graph, **kwargs)
+        except Exception as exc:  # surfaced by the caller's assert
+            box["error"] = exc
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def routed_backend(router, handles):
+    """The handle of the single backend the router placed the job on."""
+    owners = [
+        h for h in handles
+        if router.router.stats.get(f"routed.127.0.0.1:{h.port}") > 0
+    ]
+    assert len(owners) == 1, "expected exactly one placement"
+    return owners[0]
+
+
+@pytest.fixture(scope="module")
+def community():
+    from repro.graph import generators as gen
+
+    return gen.caveman_social(6, 40, p_in=0.35, seed=3)
+
+
+class TestCheckpointedFailover:
+    def test_kill_backend_mid_solve_resumes_from_checkpoint(
+        self, make_backend, make_router, make_client, community
+    ):
+        config = dict(window_size=16)
+        # fault-free reference on a plain local service
+        reference = SolveService().solve(community, **config)
+        ref_rows = [[int(v) for v in row] for row in reference.result.cliques]
+
+        backends = [
+            make_backend(service=SlowWindowService(0.08)) for _ in range(2)
+        ]
+        router = make_router(backends)
+        client = make_client(router, retries=0, timeout_s=120.0)
+        thread, box = solve_in_thread(client, community, **config)
+
+        # the poll loop must have shipped state *before* the kill, so
+        # the failover genuinely resumes instead of restarting
+        wait_until(
+            lambda: router.router.stats.get("checkpoints.polled") >= 2,
+            message="checkpoint polls before the kill",
+        )
+        victim = routed_backend(router, backends)
+        victim.kill()
+
+        thread.join(timeout=120.0)
+        assert not thread.is_alive(), "solve never completed after the kill"
+        assert "error" not in box, box.get("error")
+        record = box["reply"]["record"]
+        assert record["status"] == "ok"
+        assert record["clique_number"] == reference.clique_number
+        assert record["num_maximum_cliques"] == reference.num_maximum_cliques
+        # byte-identical witnesses: the replica resumed the same
+        # deterministic search, it did not start a different one
+        assert box["reply"]["cliques"] == ref_rows
+
+        stats = router.router.stats
+        assert stats.get("failover.total") >= 1
+        assert stats.get("failover.resumed") >= 1
+        assert stats.get("solves.resumed_ok") >= 1
+        victim_name = f"127.0.0.1:{victim.port}"
+        assert router.router.health[victim_name].state == "down"
+        survivor = next(b for b in backends if b is not victim)
+        assert stats.get(f"routed.127.0.0.1:{survivor.port}") >= 1
+
+    def test_survivor_reports_shipped_resume(
+        self, make_backend, make_router, make_client, community
+    ):
+        """The replica's own service counters prove it consumed the
+        shipped checkpoint (resume accounting, not just a clean run)."""
+        from repro.trace import CounterTracer
+
+        services = [
+            SlowWindowService(0.08, tracer=CounterTracer()) for _ in range(2)
+        ]
+        backends = [make_backend(service=s) for s in services]
+        router = make_router(backends)
+        client = make_client(router, retries=0, timeout_s=120.0)
+        thread, box = solve_in_thread(client, community, window_size=16)
+        wait_until(
+            lambda: router.router.stats.get("checkpoints.polled") >= 2,
+            message="checkpoint polls before the kill",
+        )
+        victim = routed_backend(router, backends)
+        victim.kill()
+        thread.join(timeout=120.0)
+        assert box["reply"]["record"]["status"] == "ok"
+        survivor_service = services[backends.index(
+            next(b for b in backends if b is not victim)
+        )]
+        counters = survivor_service.tracer.counters_snapshot()
+        assert counters.get("service.checkpoint.shipped_resumes", 0) >= 1
+
+
+class TestCleanRestartFailover:
+    def test_non_checkpointable_kind_restarts_cleanly(
+        self, make_backend, make_router, make_client, community
+    ):
+        """maximal-enum has no checkpoint: failover restarts the solve
+        on a replica and must not claim a resume."""
+        reference = SolveService().solve(community, problem="maximal-enum")
+        backends = [
+            make_backend(service=SlowStartService(0.4)) for _ in range(2)
+        ]
+        router = make_router(backends)
+        client = make_client(router, retries=0, timeout_s=120.0)
+        thread, box = solve_in_thread(
+            client, community, problem="maximal-enum"
+        )
+        wait_until(
+            lambda: router.router.stats.get("routed.total") >= 1,
+            message="placement before the kill",
+        )
+        victim = routed_backend(router, backends)
+        victim.kill()
+        thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        assert "error" not in box, box.get("error")
+        record = box["reply"]["record"]
+        assert record["status"] == "ok"
+        assert record["clique_number"] == reference.clique_number
+        stats = router.router.stats
+        assert stats.get("failover.total") >= 1
+        assert stats.get("failover.resumed") == 0
+        assert stats.get("solves.resumed_ok") == 0
+
+    def test_all_backends_dead_is_a_clean_error(
+        self, make_backend, make_router, make_client, community
+    ):
+        backends = [
+            make_backend(service=SlowStartService(0.4)) for _ in range(2)
+        ]
+        router = make_router(backends)
+        client = make_client(router, retries=0, timeout_s=120.0)
+        thread, box = solve_in_thread(client, community)
+        wait_until(
+            lambda: router.router.stats.get("routed.total") >= 1,
+            message="placement before the kills",
+        )
+        for backend in backends:
+            backend.kill()
+        thread.join(timeout=120.0)
+        assert not thread.is_alive()
+        error = box.get("error")
+        assert error is not None, box.get("reply")
+        assert getattr(error, "code", None) == "no_backend"

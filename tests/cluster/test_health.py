@@ -1,0 +1,68 @@
+"""Backend health state-machine transitions."""
+
+import pytest
+
+from repro.cluster import DOWN, HEALTHY, SUSPECT, BackendHealth
+
+
+class TestTransitions:
+    def test_starts_healthy_and_available(self):
+        health = BackendHealth()
+        assert health.state == HEALTHY
+        assert health.available
+
+    def test_single_failure_is_suspect_not_down(self):
+        health = BackendHealth(down_threshold=3)
+        health.note_failure()
+        assert health.state == SUSPECT
+        assert health.available  # suspect backends still take traffic
+
+    def test_threshold_failures_go_down(self):
+        health = BackendHealth(down_threshold=3)
+        for _ in range(3):
+            health.note_failure()
+        assert health.state == DOWN
+        assert not health.available
+        assert health.downs == 1
+
+    def test_success_snaps_back_to_healthy(self):
+        health = BackendHealth(down_threshold=2)
+        health.note_failure()
+        health.note_success()
+        assert health.state == HEALTHY
+        assert health.consecutive_failures == 0
+
+    def test_recovery_from_down_is_counted(self):
+        health = BackendHealth(down_threshold=1)
+        health.note_failure()
+        assert health.state == DOWN
+        health.note_success()
+        assert health.state == HEALTHY
+        assert health.recoveries == 1
+
+    def test_connection_loss_skips_suspect(self):
+        health = BackendHealth(down_threshold=5)
+        health.note_lost()
+        assert health.state == DOWN
+        assert health.downs == 1
+
+    def test_repeated_downs_count_once_per_episode(self):
+        health = BackendHealth(down_threshold=1)
+        health.note_failure()
+        health.note_failure()
+        assert health.downs == 1
+        health.note_success()
+        health.note_failure()
+        assert health.downs == 2
+
+    def test_to_dict_shape(self):
+        health = BackendHealth()
+        health.note_failure()
+        snap = health.to_dict()
+        assert snap["state"] == SUSPECT
+        assert snap["consecutive_failures"] == 1
+        assert snap["total_failures"] == 1
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="down_threshold"):
+            BackendHealth(down_threshold=0)

@@ -1,0 +1,76 @@
+"""Consistent-hash ring invariants."""
+
+import pytest
+
+from repro.cluster import HashRing
+
+NODES = ["10.0.0.1:7421", "10.0.0.2:7421", "10.0.0.3:7421"]
+KEYS = [f"graph-{i}/cfg-{i % 7}" for i in range(400)]
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = HashRing(NODES, replicas=32)
+        b = HashRing(list(reversed(NODES)), replicas=32)
+        for key in KEYS:
+            assert a.node_for(key) == b.node_for(key)
+            assert a.preference(key) == b.preference(key)
+
+    def test_preference_covers_all_nodes_once(self):
+        ring = HashRing(NODES, replicas=16)
+        for key in KEYS[:50]:
+            pref = ring.preference(key)
+            assert sorted(pref) == sorted(NODES)
+            assert pref[0] == ring.node_for(key)
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(NODES, replicas=64)
+        spread = ring.spread(KEYS)
+        assert sum(spread.values()) == len(KEYS)
+        # with 64 vnodes each node should own a sizeable share
+        for name, count in spread.items():
+            assert count > len(KEYS) // 10, (name, spread)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only:1"], replicas=8)
+        assert ring.spread(KEYS) == {"only:1": len(KEYS)}
+
+
+class TestStability:
+    def test_removing_a_node_only_remaps_its_keys(self):
+        """The consistent-hashing property the cache affinity rests on."""
+        full = HashRing(NODES, replicas=64)
+        smaller = HashRing(NODES[:-1], replicas=64)
+        moved = 0
+        for key in KEYS:
+            before = full.node_for(key)
+            after = smaller.node_for(key)
+            if before == NODES[-1]:
+                assert after in NODES[:-1]
+                moved += 1
+            else:
+                # keys not owned by the removed node must not move
+                assert after == before
+        assert moved > 0
+
+    def test_failover_order_matches_preference(self):
+        """Skipping a down primary must land on preference()[1]."""
+        ring = HashRing(NODES, replicas=32)
+        for key in KEYS[:50]:
+            pref = ring.preference(key)
+            alive = [n for n in pref if n != pref[0]]
+            assert alive[0] == pref[1]
+
+
+class TestValidation:
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            HashRing([])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            HashRing(["a:1", "a:1"])
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(["a:1"], replicas=0)
