@@ -26,6 +26,7 @@ import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 
 import pytest
 
@@ -50,8 +51,13 @@ BENCH_SCHEMA = "repro-bench/1"
 BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_server.json")
 
 
-def _record_trajectory(topology, executor, rows):
-    """Append one run's cells to the ``BENCH_server.json`` trajectory."""
+def _record_trajectory(topology, executor, rows, chaos=False):
+    """Append one run's cells to the ``BENCH_server.json`` trajectory.
+
+    ``chaos`` marks runs swept through a ``--net-fault-plan`` proxy:
+    their latencies include fault recovery, so trajectory diffing must
+    never compare them against clean-wire rows.
+    """
     path = os.path.abspath(BENCH_PATH)
     doc = {"schema": BENCH_SCHEMA, "benchmark": "server_latency", "runs": []}
     if os.path.exists(path):
@@ -67,6 +73,7 @@ def _record_trajectory(topology, executor, rows):
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "topology": topology,
             "executor": executor,
+            "chaos": bool(chaos),
             "clients": CLIENT_COUNTS,
             "requests_per_client": REQUESTS_PER_CLIENT,
             "cells": rows,
@@ -107,6 +114,29 @@ def _start_cluster(executor, n_backends=2):
     )
     router.start()
     return router, backends
+
+
+@contextmanager
+def _maybe_chaos(port, plan):
+    """Yield the port the sweep should target: the direct one, or a
+    chaos proxy replaying ``plan`` in front of it.
+
+    The load generators then measure the *survived-fault* latency;
+    the stats/cache assertions keep talking to the direct port so the
+    correctness checks are never confused by an injected cut.
+    """
+    if plan is None:
+        yield port
+        return
+    from repro.netchaos import ChaosProxyThread
+
+    proxy = ChaosProxyThread(("127.0.0.1", port), plan=plan).start()
+    try:
+        yield proxy.port
+    finally:
+        injected = proxy.counters.get("injected.total", 0)
+        proxy.stop()
+        print(f"\n  [chaos] {injected} wire fault(s) injected")
 
 
 def _client_stream(port, client_idx, n_requests):
@@ -159,11 +189,12 @@ def _sweep_port(port):
     return rows, omegas
 
 
-def _load_sweep(executor):
+def _load_sweep(executor, plan=None):
     """Single-server sweep plus its responsiveness/cache assertions."""
     handle = _start_server(executor)
     try:
-        rows, omegas = _sweep_port(handle.port)
+        with _maybe_chaos(handle.port, plan) as sweep_port:
+            rows, omegas = _sweep_port(sweep_port)
         # responsiveness probe: stats must answer fast even after load
         with SolveClient(port=handle.port) as client:
             t0 = time.perf_counter()
@@ -179,11 +210,12 @@ def _load_sweep(executor):
     return rows, omegas
 
 
-def _cluster_sweep(executor):
+def _cluster_sweep(executor, plan=None):
     """Router-fronted sweep plus its sharding/affinity assertions."""
     router, backends = _start_cluster(executor)
     try:
-        rows, omegas = _sweep_port(router.port)
+        with _maybe_chaos(router.port, plan) as sweep_port:
+            rows, omegas = _sweep_port(sweep_port)
         with SolveClient(port=router.port) as client:
             t0 = time.perf_counter()
             stats = client.stats()
@@ -217,19 +249,26 @@ def _print_rows(title, rows):
 
 
 @pytest.mark.parametrize("executor", ["serial", "threaded"])
-def test_server_latency(benchmark, executor):
-    rows, omegas = run_once(benchmark, lambda: _load_sweep(executor))
+def test_server_latency(benchmark, executor, net_fault_plan):
+    rows, omegas = run_once(
+        benchmark, lambda: _load_sweep(executor, plan=net_fault_plan)
+    )
     _print_rows(f"{executor} executor (single server)", rows)
-    _record_trajectory("single", executor, rows)
+    _record_trajectory("single", executor, rows,
+                       chaos=net_fault_plan is not None)
     assert len(omegas) == len(GRAPHS)
     assert all(r["p50_ms"] <= r["p99_ms"] for r in rows)
 
 
-def test_cluster_latency(benchmark):
+def test_cluster_latency(benchmark, net_fault_plan):
     """1 router x 2 backends vs 1 server, same load, same answers."""
     def _both():
-        single_rows, single_omegas = _load_sweep("threaded")
-        cluster_rows, cluster_omegas = _cluster_sweep("threaded")
+        single_rows, single_omegas = _load_sweep(
+            "threaded", plan=net_fault_plan
+        )
+        cluster_rows, cluster_omegas = _cluster_sweep(
+            "threaded", plan=net_fault_plan
+        )
         return single_rows, single_omegas, cluster_rows, cluster_omegas
 
     single_rows, single_omegas, cluster_rows, cluster_omegas = run_once(
@@ -237,7 +276,8 @@ def test_cluster_latency(benchmark):
     )
     _print_rows("threaded executor (single server)", single_rows)
     _print_rows("threaded executor (router x 2 backends)", cluster_rows)
-    _record_trajectory("cluster", "threaded", cluster_rows)
+    _record_trajectory("cluster", "threaded", cluster_rows,
+                       chaos=net_fault_plan is not None)
     assert cluster_omegas == single_omegas
     assert all(r["p50_ms"] <= r["p99_ms"] for r in cluster_rows)
 

@@ -14,9 +14,32 @@ import pytest
 BENCH_SCALE = dict(max_edges=100_000, timeout_s=45.0)
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--net-fault-plan",
+        default=None,
+        metavar="PATH",
+        help="path to a repro-net-fault-plan/1 JSON; the server and "
+        "cluster latency benchmarks then run their client sweeps "
+        "through a chaos proxy replaying that plan, so the reported "
+        "latencies include the cost of surviving the injected faults",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
     return dict(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def net_fault_plan(request):
+    """The loaded ``--net-fault-plan``, or None for a clean wire."""
+    path = request.config.getoption("--net-fault-plan")
+    if path is None:
+        return None
+    from repro.netchaos import load_net_fault_plan
+
+    return load_net_fault_plan(path)
 
 
 def run_once(benchmark, fn):

@@ -502,6 +502,7 @@ def _cmd_router(args: argparse.Namespace) -> int:
         down_threshold=args.down_threshold,
         checkpoint_poll_s=args.checkpoint_poll,
         drain_timeout_s=args.drain_timeout,
+        jitter_seed=args.jitter_seed,
     )
     try:
         router = Router(config)
@@ -521,6 +522,52 @@ def _cmd_router(args: argparse.Namespace) -> int:
         f"{router.stats.get('solves.accepted')} solve(s) "
         f"({router.stats.get('failover.total')} failover(s), "
         f"{router.stats.get('rebalanced.total')} rebalance(s))"
+    )
+    return 0
+
+
+def _cmd_chaos_proxy(args: argparse.Namespace) -> int:
+    from .errors import NetFaultPlanError
+    from .netchaos import ChaosProxy, load_net_fault_plan
+    from .server.client import _parse_address
+
+    try:
+        upstream = _parse_address(args.upstream)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}")
+    plan = None
+    if args.plan is not None:
+        try:
+            plan = load_net_fault_plan(args.plan)
+        except (OSError, NetFaultPlanError) as exc:
+            raise SystemExit(f"error: cannot load {args.plan}: {exc}")
+    proxy = ChaosProxy(
+        upstream,
+        plan=plan,
+        host=args.host,
+        port=args.port,
+        max_frame_bytes=args.max_frame_mib * MIB,
+    )
+    if plan is None:
+        out.info(
+            f"chaos-proxy: transparent relay to "
+            f"{upstream[0]}:{upstream[1]} (no fault plan)"
+        )
+    else:
+        out.info(
+            f"chaos-proxy: relaying to {upstream[0]}:{upstream[1]} with "
+            f"{len(plan.events)} wire fault(s) and "
+            f"{len(plan.partitions)} partition window(s) (seed {plan.seed})"
+        )
+    try:
+        proxy.run()
+    except OSError as exc:
+        raise SystemExit(f"error: cannot bind {args.host}:{args.port}: {exc}")
+    injected = proxy.counters.get("injected.total", 0)
+    out.info(
+        f"chaos-proxy: done after "
+        f"{proxy.counters.get('conns.total', 0)} connection(s), "
+        f"{injected} fault(s) injected"
     )
     return 0
 
@@ -631,6 +678,7 @@ def _cmd_client_solve(args: argparse.Namespace) -> int:
                 problem=args.problem,
                 timeout_s=args.timeout,
                 label=args.graph,
+                deadline_s=args.deadline,
             )
     except (ServerError, ProtocolError) as exc:
         code = getattr(exc, "exit_code", 1)
@@ -1097,7 +1145,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--drain-timeout", type=float, default=60.0, metavar="SECONDS",
         help="graceful-drain budget on SIGTERM/shutdown (default 60)",
     )
+    p_router.add_argument(
+        "--jitter-seed", type=int, default=None, metavar="SEED",
+        help="seed the resubmit-backoff jitter stream (default: OS entropy)",
+    )
     p_router.set_defaults(func=_cmd_router)
+
+    p_chaos = sub.add_parser(
+        "chaos-proxy",
+        help="deterministic wire-fault injection proxy (repro-net-fault-plan/1)",
+    )
+    p_chaos.add_argument(
+        "--upstream", required=True, metavar="HOST:PORT",
+        help="the real endpoint to relay to (a repro serve or router)",
+    )
+    p_chaos.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    p_chaos.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port to listen on (default 0: ephemeral)",
+    )
+    p_chaos.add_argument(
+        "--plan", default=None, metavar="PLAN.json",
+        help="repro-net-fault-plan/1 file; omit for a transparent relay",
+    )
+    p_chaos.add_argument(
+        "--max-frame-mib", type=int, default=8,
+        help="per-frame wire size limit in MiB (default 8)",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos_proxy)
 
     p_client = sub.add_parser(
         "client", help="talk to a running solve server"
@@ -1154,6 +1232,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_csolve.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-job wall-clock budget (exits 3 when exceeded)",
+    )
+    p_csolve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="end-to-end answer budget, retries included; the remaining "
+        "budget propagates on the wire so router and server stop "
+        "working on the request once it is spent (exits 3)",
     )
     p_csolve.add_argument(
         "--max-report", type=int, default=20,

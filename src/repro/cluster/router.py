@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import random
 import signal
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -91,6 +93,8 @@ class RouterConfig:
     handshake_timeout_s: float = 10.0
     #: seconds to wait for in-flight solves during a drain
     drain_timeout_s: float = 60.0
+    #: seeds the resubmit-backoff jitter stream (None: seed from OS)
+    jitter_seed: Optional[int] = None
 
 
 class _ClientConn:
@@ -116,6 +120,9 @@ class _InFlight:
     frame: Dict[str, Any]  #: original solve frame, sans id/checkpoint
     key: str  #: ring key: "<graph_fp>/<config_fp>"
     resumable: bool
+    #: absolute perf_counter() instant by which the client still wants
+    #: the answer; each placement ships the *remaining* budget
+    deadline_at: Optional[float] = None
     backend: Optional[str] = None  #: name currently solving it
     checkpoint: Optional[Dict[str, Any]] = None  #: newest shipped state
     attempts: int = 0
@@ -155,6 +162,7 @@ class Router:
         self._bg_tasks: Set[asyncio.Task] = set()
         self._next_cid = 0
         self._next_rid = 0
+        self._rng = random.Random(config.jitter_seed)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -481,6 +489,18 @@ class Router:
             await self._send_error(conn, "bad_request", "'id' must be a string")
             return
         if request_id is not None and request_id in conn.jobs:
+            entry = self._inflight.get(conn.jobs[request_id])
+            dup_key = frame.get("request_id")
+            if (
+                entry is not None
+                and dup_key is not None
+                and entry.frame.get("request_id") == dup_key
+            ):
+                # a duplicated delivery of a solve we are already
+                # driving (the chaos proxy does this on purpose): the
+                # in-flight entry will answer it, so just drop the copy
+                self.stats.inc("dedup.dropped_duplicates")
+                return
             await self._send_error(
                 conn,
                 "bad_request",
@@ -518,17 +538,31 @@ class Router:
                 request_id=request_id,
             )
             return
+        if request.deadline is not None and request.deadline.expired:
+            self.stats.inc("rejects.deadline_exceeded")
+            await self._send_error(
+                conn,
+                "deadline_exceeded",
+                "request deadline expired before placement",
+                request_id=request_id,
+            )
+            return
         key = (
             f"{request.graph.fingerprint()}/"
             f"{config_fingerprint(request.config)}"
         )
         rid = f"rt-{self._next_rid}"
         self._next_rid += 1
+        # deadline_s is stripped here and re-computed per placement:
+        # the backend must see the budget *remaining*, not the
+        # original one the client stamped before routing delays
         entry = _InFlight(
             rid=rid,
             conn=conn,
             request_id=request_id,
-            frame={k: v for k, v in frame.items() if k != "id"},
+            frame={
+                k: v for k, v in frame.items() if k not in ("id", "deadline_s")
+            },
             key=key,
             resumable=(
                 request.config.windowed
@@ -536,6 +570,9 @@ class Router:
                 and problem == "max-clique"
             ),
             checkpoint=frame.get("checkpoint"),
+            deadline_at=(
+                request.deadline.at if request.deadline is not None else None
+            ),
         )
         self._inflight[rid] = entry
         if request_id is not None:
@@ -571,6 +608,20 @@ class Router:
         loop = asyncio.get_running_loop()
         try:
             while entry.attempts < self.config.max_attempts:
+                budget = None
+                if entry.deadline_at is not None:
+                    budget = entry.deadline_at - time.perf_counter()
+                    if budget <= 0:
+                        # the client stopped waiting somewhere between
+                        # placements: fail retriable, burn no backend
+                        self.stats.inc("rejects.deadline_exceeded")
+                        await self._send_error(
+                            entry.conn,
+                            "deadline_exceeded",
+                            "request deadline expired while routing",
+                            request_id=entry.request_id,
+                        )
+                        return
                 name, rebalanced = self._pick_backend(entry)
                 if name is None:
                     self.stats.inc("rejects.no_backend")
@@ -586,6 +637,8 @@ class Router:
                 entry.backend = name
                 wire = dict(entry.frame)
                 wire["id"] = entry.rid
+                if budget is not None:
+                    wire["deadline_s"] = round(budget, 6)
                 shipped = None
                 if entry.resumable and entry.checkpoint is not None:
                     wire["checkpoint"] = entry.checkpoint
@@ -627,7 +680,12 @@ class Router:
                         self.stats.inc(f"resubmits.{exc.code}")
                         delay = getattr(exc, "retry_after_s", None)
                         if delay:
-                            await asyncio.sleep(min(float(delay), 1.0))
+                            # seeded jitter in [0.5, 1.0): N failed-over
+                            # solves must not resubmit in lockstep
+                            await asyncio.sleep(
+                                min(float(delay), 1.0)
+                                * (0.5 + 0.5 * self._rng.random())
+                            )
                         continue
                     self.stats.inc(f"solves.{exc.code}")
                     await self._send_error(

@@ -19,6 +19,7 @@ __all__ = [
     "FlakyAllocError",
     "GraphFormatError",
     "JobSpecError",
+    "NetFaultPlanError",
     "ProtocolError",
     "ServerError",
     "SolverConfigError",
@@ -111,6 +112,15 @@ class DeviceLostError(ReproError, RuntimeError):
 
 class FaultPlanError(ReproError, ValueError):
     """Raised when a fault-plan file or specification is invalid."""
+
+
+class NetFaultPlanError(ReproError, ValueError):
+    """Raised when a network fault-plan file or specification is invalid.
+
+    The wire-layer sibling of :class:`FaultPlanError`: covers schema
+    mismatches, unknown fault kinds, and malformed partition windows in
+    ``repro-net-fault-plan/1`` documents (:mod:`repro.netchaos.plan`).
+    """
 
 
 class CheckpointError(ReproError, ValueError):

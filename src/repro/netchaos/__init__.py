@@ -1,0 +1,32 @@
+"""Deterministic network fault injection (``repro-net-fault-plan/1``).
+
+The wire-layer leg of the fault story: PR 3 injects device faults
+(:mod:`repro.gpusim.faults`), the cluster chaos tests kill processes,
+and this package damages the *network* between client, router, and
+backends -- deterministically, from a seeded plan, so every chaos run
+is comparable byte for byte with its fault-free twin. See
+docs/ROBUSTNESS.md for the complete fault-model matrix.
+"""
+
+from .plan import (
+    DIRECTIONS,
+    NET_FAULT_KINDS,
+    NET_FAULT_PLAN_SCHEMA,
+    NetFaultEvent,
+    NetFaultPlan,
+    Partition,
+    load_net_fault_plan,
+)
+from .proxy import ChaosProxy, ChaosProxyThread
+
+__all__ = [
+    "NET_FAULT_PLAN_SCHEMA",
+    "NET_FAULT_KINDS",
+    "DIRECTIONS",
+    "NetFaultEvent",
+    "NetFaultPlan",
+    "Partition",
+    "load_net_fault_plan",
+    "ChaosProxy",
+    "ChaosProxyThread",
+]

@@ -224,7 +224,27 @@ class SolveBridge:
                 if self._stopped and not self._queue:
                     self._idle.set()
                     return
-                batch = [p for p in self._queue if not p.cancelled]
+                batch = []
+                for pending in self._queue:
+                    if pending.cancelled:
+                        continue
+                    deadline = getattr(pending.request, "deadline", None)
+                    if deadline is not None and deadline.expired:
+                        # the client's budget ran out while the job sat
+                        # queued: fail it retriable *now* instead of
+                        # computing an answer nobody is waiting for
+                        self._states[pending.request.job_id] = DONE
+                        pending.future.set_exception(
+                            ServerError(
+                                f"job {pending.request.job_id} missed its "
+                                f"deadline while queued",
+                                code="deadline_exceeded",
+                                retriable=True,
+                                exit_code=3,
+                            )
+                        )
+                        continue
+                    batch.append(pending)
                 self._queue.clear()
                 self._in_flight = len(batch)
                 for pending in batch:

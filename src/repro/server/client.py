@@ -8,18 +8,29 @@ failure classes retry automatically with exponential backoff:
 * **connection failures** (refused, reset, server restarting) --
   the client reconnects and replays the handshake;
 * **retriable error frames** (``rate_limited``, ``server_busy``,
-  ``draining``) -- the client sleeps ``retry_after_s`` when the frame
-  names one, else the current backoff, and resends the request.
+  ``draining``, ``deadline_exceeded``) -- the client sleeps
+  ``retry_after_s`` when the frame names one (clamped to
+  ``backoff_max_s``), else the current backoff, and resends the
+  request.
 
 Non-retriable error frames raise :class:`~repro.errors.ServerError`
-immediately. Solves are pure, so replaying one after an ambiguous
-failure is always safe (at worst it hits the server's result cache).
+immediately. Every retry sleep is multiplied by seeded jitter in
+``[0.5, 1.0)`` so a fleet of clients knocked over by the same fault
+does not thunder back in lockstep.
+
+Retried ``solve`` frames are *idempotent at the server*: each carries
+a client-generated ``request_id`` that is reused verbatim across
+resends, so a retry after an ambiguous failure (reply lost on the
+wire) joins or replays the original execution instead of computing it
+again -- see docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+import uuid
 from typing import Any, Dict, Optional
 
 from ..errors import ProtocolError, ServerError
@@ -68,7 +79,13 @@ class SolveClient:
         retriable error frame) is retried before giving up.
     backoff_s / backoff_max_s:
         Initial and maximum sleep between retries; doubles each
-        attempt, and a server-supplied ``retry_after_s`` overrides it.
+        attempt, and a server-supplied ``retry_after_s`` overrides it
+        (clamped to ``backoff_max_s`` so a confused server cannot
+        park the client for minutes).
+    jitter_seed:
+        Seeds the backoff jitter stream (every retry sleep is scaled
+        by a draw from ``[0.5, 1.0)``). None seeds from the OS --
+        pass an int for reproducible retry timing in tests.
 
     Usable as a context manager; :meth:`connect` is implicit on first
     use.
@@ -84,6 +101,7 @@ class SolveClient:
         backoff_max_s: float = 3.0,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         addresses: Optional[list] = None,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         if addresses:
             self.addresses = [_parse_address(a) for a in addresses]
@@ -99,6 +117,10 @@ class SolveClient:
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._seq = 0
+        self._rng = random.Random(jitter_seed)
+        #: per-instance prefix keeping request_ids globally unique even
+        #: when several clients share one server's dedup table
+        self._client_tag = uuid.uuid4().hex[:10]
 
     # ------------------------------------------------------------------
     # connection management
@@ -139,13 +161,29 @@ class SolveClient:
             return self.server_hello
         backoff = self.backoff_s
         for attempt in range(self.retries + 1):
+            hello = None
             try:
                 self._sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout_s
                 )
-                break
+                self._file = self._sock.makefile("rb")
+                self._send(
+                    {
+                        "type": "hello",
+                        "protocol": protocol.PROTOCOL,
+                        "client": "repro-client",
+                    }
+                )
+                hello = self._recv()
+            except (ServerError, ProtocolError):
+                # a server that *answered* with an error, or spoke
+                # garbage, is not a transient connect failure
+                self.close()
+                raise
             except OSError as exc:
-                self._sock = None
+                # refused outright, or (behind a flaky hop) accepted
+                # and then severed mid-handshake -- both retriable
+                self.close()
                 if attempt >= self.retries:
                     targets = ", ".join(
                         f"{h}:{p}" for h, p in self.addresses
@@ -160,21 +198,10 @@ class SolveClient:
                     self.host, self.port, exc, backoff,
                 )
                 self._rotate()
-                time.sleep(backoff)
+                time.sleep(self._jitter(backoff))
                 backoff = min(backoff * 2, self.backoff_max_s)
-        self._file = self._sock.makefile("rb")
-        try:
-            self._send(
-                {
-                    "type": "hello",
-                    "protocol": protocol.PROTOCOL,
-                    "client": "repro-client",
-                }
-            )
-            hello = self._recv()
-        except (ServerError, ProtocolError):
-            self.close()
-            raise
+                continue
+            break
         if hello.get("type") != "hello":
             self.close()
             raise ProtocolError(
@@ -226,31 +253,56 @@ class SolveClient:
             )
         self._sock.sendall(data)
 
-    def _recv(self) -> Dict[str, Any]:
-        assert self._file is not None
-        line = self._file.readline(self.max_frame_bytes + 1)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        if len(line) > self.max_frame_bytes:
-            raise ProtocolError(
-                "server sent an oversized frame", code="frame_too_large"
-            )
-        frame = protocol.decode_frame(line)
-        if frame.get("type") == "error":
-            retriable, exit_code = protocol.ERROR_CODES.get(
-                frame.get("code", "internal"), (False, 1)
-            )
-            err = ServerError(
-                frame.get("message", "server error"),
-                code=frame.get("code", "internal"),
-                retriable=bool(frame.get("retriable", retriable)),
-                exit_code=int(frame.get("exit_code", exit_code)),
-            )
-            err.retry_after_s = frame.get("retry_after_s")
-            raise err
-        return frame
+    def _recv(self, expect_id: Optional[str] = None) -> Dict[str, Any]:
+        """Read the next frame addressed to us.
 
-    def _round_trip(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        With ``expect_id`` set, frames whose ``id`` differs are
+        *skipped*, not errors: a flaky network may deliver a frame
+        twice (the chaos proxy does so on purpose), and a duplicated
+        reply to an earlier request must not be mistaken for the
+        answer to this one.
+        """
+        assert self._file is not None
+        while True:
+            line = self._file.readline(self.max_frame_bytes + 1)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            if not line.endswith(b"\n"):
+                if len(line) > self.max_frame_bytes:
+                    raise ProtocolError(
+                        "server sent an oversized frame", code="frame_too_large"
+                    )
+                # a partial line at EOF: the connection died mid-frame
+                # (wire cut / truncation); retriable, not a protocol bug
+                raise ConnectionError("connection lost mid-frame")
+            frame = protocol.decode_frame(line)
+            if expect_id is not None and frame.get("id") != expect_id:
+                log.debug(
+                    "skipping stale frame id=%r (awaiting %r)",
+                    frame.get("id"), expect_id,
+                )
+                continue
+            if frame.get("type") == "error":
+                retriable, exit_code = protocol.ERROR_CODES.get(
+                    frame.get("code", "internal"), (False, 1)
+                )
+                err = ServerError(
+                    frame.get("message", "server error"),
+                    code=frame.get("code", "internal"),
+                    retriable=bool(frame.get("retriable", retriable)),
+                    exit_code=int(frame.get("exit_code", exit_code)),
+                )
+                err.retry_after_s = frame.get("retry_after_s")
+                raise err
+            return frame
+
+    def _jitter(self, delay: float) -> float:
+        """Scale a retry sleep by a seeded draw from ``[0.5, 1.0)``."""
+        return delay * (0.5 + 0.5 * self._rng.random())
+
+    def _round_trip(
+        self, frame: Dict[str, Any], deadline_at: Optional[float] = None
+    ) -> Dict[str, Any]:
         """Send one frame and read one reply, retrying retriable failures.
 
         Connection failures and ``draining`` rejects rotate to the
@@ -258,13 +310,30 @@ class SolveClient:
         other retriable error frames (``server_busy``,
         ``rate_limited``) stay on the same server, which asked for
         patience rather than a different replica.
+
+        ``deadline_at`` (a ``time.perf_counter()`` instant) bounds the
+        whole exchange: each attempt ships the *remaining* budget as
+        the frame's ``deadline_s`` so every hop downstream knows how
+        long the answer is still wanted, and once the budget is spent
+        the client fails locally instead of sending a doomed request.
         """
         backoff = self.backoff_s
         for attempt in range(self.retries + 1):
+            if deadline_at is not None:
+                remaining = deadline_at - time.perf_counter()
+                if remaining <= 0:
+                    raise ServerError(
+                        "client deadline budget exhausted before "
+                        f"attempt {attempt + 1}",
+                        code="deadline_exceeded",
+                        retriable=True,
+                        exit_code=3,
+                    )
+                frame["deadline_s"] = round(remaining, 6)
             try:
                 self.connect()
                 self._send(frame)
-                return self._recv()
+                return self._recv(expect_id=frame.get("id"))
             except (ConnectionError, socket.timeout, OSError) as exc:
                 self.close()
                 if attempt >= self.retries:
@@ -274,13 +343,24 @@ class SolveClient:
                         retriable=True,
                     ) from exc
                 self._rotate()
-                delay = backoff
+                delay = self._jitter(backoff)
             except ServerError as exc:
                 if not exc.retriable or attempt >= self.retries:
                     raise
-                delay = getattr(exc, "retry_after_s", None) or backoff
+                retry_after = getattr(exc, "retry_after_s", None)
+                if retry_after is not None:
+                    # trust but bound: a server hint never parks the
+                    # client longer than its own configured ceiling.
+                    # No jitter here -- the hint says when capacity
+                    # exists; retrying *earlier* would only burn an
+                    # attempt on a guaranteed second reject
+                    delay = min(float(retry_after), self.backoff_max_s)
+                else:
+                    delay = self._jitter(backoff)
                 if exc.code == "draining" and self._rotate():
                     delay = 0.0
+            if deadline_at is not None:
+                delay = min(delay, max(deadline_at - time.perf_counter(), 0.0))
             log.debug(
                 "request retrying in %.2fs (attempt %d/%d)",
                 delay, attempt + 1, self.retries,
@@ -301,6 +381,7 @@ class SolveClient:
         label: str = "",
         max_report: Optional[int] = None,
         checkpoint: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
         **config_kwargs: Any,
     ) -> Dict[str, Any]:
         """Solve one graph remotely; returns the ``result`` frame.
@@ -321,6 +402,14 @@ class SolveClient:
         ``repro-checkpoint/1`` dict for the server to resume the
         windowed max-clique search from (the cluster router's failover
         path; also handy for tests).
+
+        ``deadline_s`` is an end-to-end budget in seconds for the
+        whole exchange, retries included. The remaining budget rides
+        on the wire as ``deadline_s`` (re-computed per attempt), so
+        the router, server queue, and solver all stop working on the
+        request the moment nobody is waiting for the answer; a spent
+        budget raises a retriable ``deadline_exceeded``
+        :class:`~repro.errors.ServerError`.
 
         The returned frame's ``record`` is the JSON job record,
         ``cliques`` the clique membership rows (absent for counting
@@ -347,6 +436,10 @@ class SolveClient:
         frame: Dict[str, Any] = {
             "type": "solve",
             "id": f"req-{self._seq}",
+            # the idempotency key: reused verbatim by every retry of
+            # this call, so resends dedup server-side instead of
+            # executing twice
+            "request_id": f"{self._client_tag}-{self._seq}",
             "graph": protocol.encode_graph(graph),
         }
         if problem is not None:
@@ -361,7 +454,10 @@ class SolveClient:
             frame["max_report"] = max_report
         if checkpoint is not None:
             frame["checkpoint"] = checkpoint
-        reply = self._round_trip(frame)
+        deadline_at = None
+        if deadline_s is not None:
+            deadline_at = time.perf_counter() + float(deadline_s)
+        reply = self._round_trip(frame, deadline_at=deadline_at)
         if reply.get("type") != "result":
             raise ProtocolError(
                 f"expected a result frame, got {reply.get('type')!r}"

@@ -62,6 +62,7 @@ __all__ = [
     "encode_graph",
     "decode_graph",
     "solve_request_from_frame",
+    "validate_request_key",
     "result_frame",
     "exit_code_for_record",
 ]
@@ -104,14 +105,21 @@ ERROR_CODES: Dict[str, Tuple[bool, int]] = {
     #: a router found no healthy backend to place the request on --
     #: backends may recover, so the identical request can succeed later
     "no_backend": (True, 1),
+    #: the request's ``deadline_s`` budget expired before (or while)
+    #: the server could dispatch it -- retriable so the caller may try
+    #: again with a fresh budget, exit code 3 like a solve timeout
+    "deadline_exceeded": (True, 3),
     "cancelled": (False, 1),
     "internal": (False, 1),
 }
 
 _SOLVE_KEYS = frozenset(
     {"type", "id", "graph", "problem", "config", "timeout_s", "label",
-     "max_report", "checkpoint"}
+     "max_report", "checkpoint", "request_id", "deadline_s"}
 )
+
+#: upper bound on a client-generated ``request_id`` (dedup table key)
+MAX_REQUEST_ID_LEN = 256
 _CONFIG_FIELDS = frozenset(SolverConfig.__dataclass_fields__)
 
 #: record.error prefixes -> CLI exit codes (``repro solve`` semantics)
@@ -272,12 +280,41 @@ def decode_graph(payload) -> CSRGraph:
 # ----------------------------------------------------------------------
 # solve frames <-> service requests
 # ----------------------------------------------------------------------
+def validate_request_key(frame: Dict[str, Any]) -> Optional[str]:
+    """Validate and return a solve frame's idempotency ``request_id``.
+
+    Cheap (no graph decode), so the server can consult its dedup table
+    before paying for full validation. ``request_id`` is the
+    *client-generated* idempotency key reused verbatim across retries
+    -- distinct from the per-connection ``id`` that matches replies to
+    requests. Returns None when absent.
+    """
+    request_key = frame.get("request_id")
+    if request_key is None:
+        return None
+    if (
+        not isinstance(request_key, str)
+        or not request_key
+        or len(request_key) > MAX_REQUEST_ID_LEN
+    ):
+        raise ProtocolError(
+            "'request_id' must be a non-empty string of at most "
+            f"{MAX_REQUEST_ID_LEN} characters",
+            code="bad_request",
+        )
+    return request_key
+
+
 def solve_request_from_frame(frame: Dict[str, Any]):
     """Validate a ``solve`` frame into ``(SolveRequest, max_report)``.
 
     ``max_report`` caps how many clique rows the *reply* carries; it is
     not part of the solver configuration (so it never perturbs the
-    result-cache key).
+    result-cache key). A ``deadline_s`` budget (seconds of remaining
+    client patience, measured at send time) is stamped into the
+    request as an absolute :class:`~repro.core.deadline.Deadline` at
+    receipt, so every later layer (bridge queue, service, solver) can
+    refuse work that can no longer meet it.
     """
     from ..service.request import SolveRequest
 
@@ -324,9 +361,15 @@ def solve_request_from_frame(frame: Dict[str, Any]):
     except (SolverConfigError, ValueError, TypeError) as exc:
         raise ProtocolError(f"invalid config: {exc}", code="bad_request") from exc
 
+    validate_request_key(frame)
     timeout_s = frame.get("timeout_s")
     if timeout_s is not None and not isinstance(timeout_s, (int, float)):
         raise ProtocolError("'timeout_s' must be a number", code="bad_request")
+    deadline_s = frame.get("deadline_s")
+    if deadline_s is not None and (
+        isinstance(deadline_s, bool) or not isinstance(deadline_s, (int, float))
+    ):
+        raise ProtocolError("'deadline_s' must be a number", code="bad_request")
     label = frame.get("label", "")
     if not isinstance(label, str):
         raise ProtocolError("'label' must be a string", code="bad_request")
@@ -362,12 +405,22 @@ def solve_request_from_frame(frame: Dict[str, Any]):
                 "checkpoint was taken against a different graph",
                 code="bad_request",
             )
+    deadline = None
+    if deadline_s is not None:
+        from ..core.deadline import Deadline
+
+        # stamped at receipt: the remaining budget starts shrinking on
+        # this host's clock from the moment the frame was parsed
+        deadline = Deadline.from_limit(
+            float(deadline_s), label=f"request {frame.get('id', '?')}"
+        )
     request = SolveRequest(
         graph=graph,
         config=config,
         timeout_s=timeout_s,
         label=label,
         checkpoint=checkpoint,
+        deadline=deadline,
     )
     return request, max_report
 

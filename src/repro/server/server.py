@@ -36,6 +36,7 @@ import asyncio
 import contextlib
 import signal
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set
 
@@ -75,6 +76,29 @@ class ServerConfig:
     drain_timeout_s: float = 60.0
     #: seconds a fresh connection gets to complete the hello handshake
     handshake_timeout_s: float = 10.0
+    #: bounded idempotency table: how many ``request_id`` entries are
+    #: remembered for duplicate/resend detection (completed entries are
+    #: evicted oldest-first past the cap; in-flight ones never are)
+    dedup_capacity: int = 1024
+
+
+class _DedupEntry:
+    """One remembered solve, keyed by its client ``request_id``.
+
+    While the solve is in flight, ``future`` lets a duplicate delivery
+    *join* the running job (a second reply is sent when it finishes,
+    no second execution). Once finished, ``record`` replays the cached
+    reply to any resend -- the at-most-once-execution guarantee a
+    client's blind retry after an ambiguous failure relies on.
+    """
+
+    __slots__ = ("key", "future", "record", "max_report")
+
+    def __init__(self, key: str, future, max_report) -> None:
+        self.key = key
+        self.future = future
+        self.record = None  #: JobRecord once the solve finished
+        self.max_report = max_report
 
 
 class _Conn:
@@ -105,6 +129,8 @@ class SolveServer:
         self._done: Optional[asyncio.Event] = None
         self._draining = False
         self._conns: Set[_Conn] = set()
+        #: request_id -> _DedupEntry, LRU-ordered (bounded idempotency)
+        self._dedup: "OrderedDict[str, _DedupEntry]" = OrderedDict()
         self._next_cid = 0
         self._next_job = 0
 
@@ -346,6 +372,19 @@ class SolveServer:
         if request_id is not None and not isinstance(request_id, str):
             await self._send_error(conn, "bad_request", "'id' must be a string")
             return
+        try:
+            dedup_key = protocol.validate_request_key(frame)
+        except ProtocolError as exc:
+            self.stats.inc("rejects.bad_request")
+            await self._send_error(conn, exc.code, str(exc), request_id=request_id)
+            return
+        # idempotency first: a duplicated or resent solve must never
+        # execute twice, so the dedup table answers before rate limits,
+        # the in-flight-id check, or the (expensive) graph decode
+        if dedup_key is not None and await self._dedup_hit(
+            conn, request_id, dedup_key
+        ):
+            return
         if request_id is not None and request_id in conn.jobs:
             await self._send_error(
                 conn,
@@ -383,6 +422,18 @@ class SolveServer:
             self.stats.inc("rejects.bad_request")
             await self._send_error(conn, exc.code, str(exc), request_id=request_id)
             return
+        if request.deadline is not None and request.deadline.expired:
+            # the budget is already gone: refuse retriable instead of
+            # computing an answer the client has stopped waiting for
+            self.stats.inc("rejects.deadline_exceeded")
+            self._service_counter("service.deadline.rejected")
+            await self._send_error(
+                conn,
+                "deadline_exceeded",
+                "request deadline expired before dispatch",
+                request_id=request_id,
+            )
+            return
         job_id = f"conn{conn.cid}-job{self._next_job}"
         self._next_job += 1
         request.job_id = job_id
@@ -405,27 +456,102 @@ class SolveServer:
         self.stats.inc("solves.accepted")
         if request_id is not None:
             conn.jobs[request_id] = job_id
+        entry = None
+        if dedup_key is not None:
+            entry = _DedupEntry(dedup_key, future, max_report)
+            self._dedup[dedup_key] = entry
+            self._dedup.move_to_end(dedup_key)
+            self._prune_dedup()
         t0 = loop.time()
         task = loop.create_task(
-            self._await_result(conn, request_id, job_id, future, max_report, t0)
+            self._await_result(
+                conn, request_id, job_id, future, max_report, t0, entry
+            )
         )
         conn.tasks.add(task)
         task.add_done_callback(conn.tasks.discard)
 
+    async def _dedup_hit(self, conn: _Conn, request_id, dedup_key: str) -> bool:
+        """Answer a known ``request_id`` from the dedup table.
+
+        Completed entries replay the cached reply; in-flight entries
+        attach this delivery to the running job (its reply goes out
+        when the one execution finishes). Returns False when the key
+        is unknown and the solve should proceed normally.
+        """
+        entry = self._dedup.get(dedup_key)
+        if entry is None:
+            return False
+        self._dedup.move_to_end(dedup_key)
+        if entry.record is not None:
+            self.stats.inc("dedup.replays")
+            self._service_counter("service.dedup.replays")
+            await self._send(
+                conn,
+                protocol.result_frame(request_id, entry.record, entry.max_report),
+            )
+            return True
+        self.stats.inc("dedup.joins")
+        self._service_counter("service.dedup.joins")
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._join_result(conn, request_id, entry))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+        return True
+
+    async def _join_result(self, conn: _Conn, request_id, entry) -> None:
+        """Deliver an in-flight job's eventual reply to a duplicate."""
+        try:
+            record = await asyncio.wrap_future(entry.future)
+        except ServerError as exc:
+            await self._send_error(conn, exc.code, str(exc), request_id=request_id)
+            return
+        await self._send(
+            conn, protocol.result_frame(request_id, record, entry.max_report)
+        )
+
+    def _prune_dedup(self) -> None:
+        """Evict oldest *completed* entries past the capacity bound."""
+        capacity = max(int(self.config.dedup_capacity), 0)
+        if len(self._dedup) <= capacity:
+            return
+        for key in list(self._dedup):
+            if len(self._dedup) <= capacity:
+                break
+            entry = self._dedup[key]
+            if entry.record is not None or entry.future.done():
+                del self._dedup[key]
+                self.stats.inc("dedup.evictions")
+
+    def _service_counter(self, name: str) -> None:
+        """Accumulate into the service tracer's counters when it has any."""
+        tracer = getattr(self.service, "tracer", None)
+        counter = getattr(tracer, "counter", None)
+        if counter is not None:
+            counter(name)
+
     async def _await_result(
-        self, conn, request_id, job_id, future, max_report, t0
+        self, conn, request_id, job_id, future, max_report, t0, entry=None
     ) -> None:
         loop = asyncio.get_running_loop()
         try:
             record = await asyncio.wrap_future(future)
         except ServerError as exc:
-            # queued-but-rejected (drain) or cancelled before running
+            # queued-but-rejected (drain), cancelled, or past-deadline
+            # before running: forget the dedup entry so a retry with
+            # the same request_id executes fresh (nothing ran here)
+            if entry is not None and self._dedup.get(entry.key) is entry:
+                del self._dedup[entry.key]
             self.stats.inc(f"solves.{exc.code}")
             await self._send_error(conn, exc.code, str(exc), request_id=request_id)
             return
         finally:
             if request_id is not None:
                 conn.jobs.pop(request_id, None)
+        if entry is not None:
+            # remember the outcome even if this socket is already dead:
+            # the client's resend on a fresh connection replays it
+            entry.record = record
         self.stats.latency.record(loop.time() - t0)
         self.stats.inc("solves.ok" if record.ok else f"solves.{record.status}")
         await self._send(conn, protocol.result_frame(request_id, record, max_report))
@@ -500,6 +626,7 @@ class SolveServer:
                 queue_depth=self.bridge.queue_depth,
                 in_flight=self.bridge.in_flight,
                 draining=self._draining,
+                dedup_entries=len(self._dedup),
             ),
             "service": self.service.stats_snapshot(),
             "counters": counters,

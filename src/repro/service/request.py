@@ -63,6 +63,16 @@ class SolveRequest:
         Optional callback invoked with a stamped checkpoint after
         every completed window, so callers (the server bridge) can
         expose the latest resumable state of an in-flight job.
+    deadline:
+        Optional absolute :class:`~repro.core.deadline.Deadline` by
+        which the *caller* still wants the answer (the wire
+        ``deadline_s`` budget, stamped at receipt). Layers between
+        here and the device honour it: the server rejects an
+        already-expired request before dispatch, the bridge fails
+        expired jobs at batch pickup, and the service folds the
+        remaining budget into the executed config's ``time_limit_s``
+        (the tighter of the two wins) so the solver's own deadline
+        checks enforce it mid-search.
     """
 
     graph: CSRGraph
@@ -75,6 +85,7 @@ class SolveRequest:
     checkpoint_sink: Optional[Any] = field(
         default=None, repr=False, compare=False
     )
+    deadline: Optional[Any] = field(default=None, repr=False, compare=False)
 
     #: submission sequence number, assigned by the service (FIFO key)
     seq: int = field(default=0, repr=False, compare=False)

@@ -666,6 +666,16 @@ class _BatchPlan:
             if request.timeout_s is not None
             else svc.default_timeout_s
         )
+        deadline = getattr(request, "deadline", None)
+        if deadline is not None and deadline.at is not None:
+            # the caller's end-to-end budget, shrunk by queueing and
+            # transit: fold what remains into the wall-time limit (the
+            # tighter wins; clamped positive so config validation holds
+            # in the already-expired race the bridge normally catches)
+            remaining = max(deadline.at - time.perf_counter(), 1e-6)
+            timeout_s = (
+                remaining if timeout_s is None else min(timeout_s, remaining)
+            )
         config = svc._merge_timeout(decision.config, timeout_s)
         self._states[ticket] = _JobState(
             request=request, w0=w0, decision=decision, config=config

@@ -1,0 +1,113 @@
+"""The cluster with *every* backend dead: stats, rejects, status CLI.
+
+PR-7 proved single-backend loss fails over; this suite pins down the
+terminal case. A router whose whole backend set is unreachable must
+stay up and answer ``stats`` (the health board is most valuable
+exactly when everything is down), reject solves with the retriable
+``no_backend`` error, and render all of it through
+``repro cluster-status`` with documented exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.errors import ServerError
+
+from .conftest import free_port, wait_until
+
+
+@pytest.fixture(scope="module")
+def community():
+    from repro.graph import generators as gen
+
+    return gen.caveman_social(5, 30, p_in=0.35, seed=3)
+
+
+@pytest.fixture
+def dead_cluster(make_router):
+    """A router over two ports nothing listens on, already marked DOWN."""
+    ports = [free_port(), free_port()]
+    router = make_router([("127.0.0.1", p) for p in ports])
+    wait_until(
+        lambda: all(not h.available for h in router.router.health.values()),
+        message="all backends marked down",
+    )
+    return router, ports
+
+
+class TestRouterAllDown:
+    def test_stats_answer_with_zero_available(self, dead_cluster,
+                                              make_client):
+        router, ports = dead_cluster
+        stats = make_client(router).stats()
+        assert stats["router"]["backends_available"] == 0
+        assert stats["router"]["backends_total"] == 2
+        # the health board still lists every backend, each DOWN
+        assert set(stats["backends"]) == {
+            f"127.0.0.1:{p}" for p in ports
+        }
+        for backend in stats["backends"].values():
+            assert backend["health"]["state"] == "down"
+            assert not backend.get("connected")
+
+    def test_solve_rejected_no_backend_retriable(self, dead_cluster,
+                                                 make_client, community):
+        router, _ = dead_cluster
+        client = make_client(router, retries=0)
+        with pytest.raises(ServerError) as excinfo:
+            client.solve(community)
+        assert excinfo.value.code == "no_backend"
+        assert excinfo.value.retriable is True
+        assert router.router.stats.get("rejects.no_backend") >= 1
+
+    def test_recovers_when_a_backend_appears(self, dead_cluster,
+                                             make_backend, make_client,
+                                             community):
+        """A backend born *after* the router still gets adopted."""
+        router, ports = dead_cluster
+        from repro.server import ServerConfig
+
+        backend = make_backend(config=ServerConfig(port=ports[0]))
+        wait_until(
+            lambda: router.router.health[
+                f"127.0.0.1:{backend.port}"].available,
+            message="late backend adopted",
+        )
+        reply = make_client(router).solve(community)
+        assert reply["record"]["status"] == "ok"
+
+
+class TestClusterStatusCLI:
+    def test_renders_all_down_board(self, dead_cluster, capsys):
+        router, ports = dead_cluster
+        rc = cli.main(["cluster-status", "--port", str(router.port)])
+        assert rc == 0  # rendering a dead cluster is a *successful* query
+        captured = capsys.readouterr().out
+        assert "0/2 backend(s) available" in captured
+        for port in ports:
+            assert f"127.0.0.1:{port}" in captured
+        assert captured.count("down") >= 2
+
+    def test_json_mode_round_trips(self, dead_cluster, capsys):
+        router, _ = dead_cluster
+        rc = cli.main(["cluster-status", "--port", str(router.port),
+                       "--json"])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["router"]["backends_available"] == 0
+        assert all(b["health"]["state"] == "down"
+                   for b in stats["backends"].values())
+
+    def test_unreachable_router_exits_nonzero(self, capsys):
+        rc = cli.main(["cluster-status", "--port", str(free_port()),
+                       "--retries", "0", "--wait", "5"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().out
+
+    def test_plain_server_is_not_a_router(self, make_backend, capsys):
+        backend = make_backend()
+        rc = cli.main(["cluster-status", "--port", str(backend.port)])
+        assert rc == 1
+        assert "not a router" in capsys.readouterr().out

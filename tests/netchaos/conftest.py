@@ -1,0 +1,121 @@
+"""Shared fixtures for the network chaos tests.
+
+Every test assembles a real wire stack -- ``ServerThread`` (and where
+needed ``RouterThread``) on ephemeral ports with a ``ChaosProxyThread``
+in front -- so a fault plan damages genuine ``repro-wire/1`` bytes.
+Services run with ``cache_size=0`` throughout: the dedup assertions
+count *executions* via ``service.jobs.total``, and a result cache
+would hide a duplicated execution the dedup table failed to stop.
+"""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.netchaos import ChaosProxyThread
+from repro.server import ServerConfig, ServerThread, SolveClient
+from repro.service import SolveService
+from repro.trace import CounterTracer
+
+from tests.server.conftest import RawConn  # noqa: F401 (fixture dep)
+
+
+@pytest.fixture(scope="module")
+def community():
+    """Small community graph solved comfortably at any sane budget."""
+    return gen.caveman_social(5, 30, p_in=0.35, seed=3)
+
+
+@pytest.fixture
+def make_server():
+    """Factory for backend servers with a counters tracer, no cache."""
+    handles = []
+
+    def _make(config=None, server_config=None, **service_kwargs):
+        service_kwargs.setdefault("cache_size", 0)
+        service_kwargs.setdefault("tracer", CounterTracer())
+        service = SolveService(**service_kwargs)
+        cfg = server_config or config or ServerConfig(port=0)
+        handle = ServerThread(service, cfg)
+        handles.append(handle)
+        return handle.start()
+
+    yield _make
+    for handle in handles:
+        handle.stop(timeout_s=10.0)
+
+
+@pytest.fixture
+def make_proxy():
+    """Factory for chaos proxies; every proxy is stopped at teardown."""
+    handles = []
+
+    def _make(upstream, plan=None, **kwargs):
+        port = getattr(upstream, "port", None)
+        if port is not None:
+            upstream = ("127.0.0.1", port)
+        handle = ChaosProxyThread(upstream, plan=plan, **kwargs)
+        handles.append(handle)
+        return handle.start()
+
+    yield _make
+    for handle in handles:
+        handle.stop(timeout_s=10.0)
+
+
+@pytest.fixture
+def make_client():
+    """Factory for clients with fast, seeded-jitter retry timings."""
+    clients = []
+
+    def _make(handle_or_port, **kwargs):
+        port = getattr(handle_or_port, "port", handle_or_port)
+        kwargs.setdefault("retries", 5)
+        kwargs.setdefault("timeout_s", 60.0)
+        kwargs.setdefault("backoff_s", 0.05)
+        kwargs.setdefault("jitter_seed", 0)
+        client = SolveClient(port=port, **kwargs)
+        clients.append(client)
+        return client
+
+    yield _make
+    for client in clients:
+        client.close()
+
+
+@pytest.fixture
+def raw_conn():
+    """RawConn factory (same contract as the server suite's fixture)."""
+    conns = []
+
+    def _make(handle_or_port, **kwargs):
+        port = getattr(handle_or_port, "port", handle_or_port)
+        conn = RawConn(port, **kwargs)
+        conns.append(conn)
+        return conn
+
+    yield _make
+    for conn in conns:
+        conn.close()
+
+
+def normalized(record, drop_model_times=False):
+    """A record dict with the host-wall-clock fields stripped.
+
+    ``wall_time_s`` is host time and ``job_id`` encodes the server's
+    connection ordinal -- both legitimately differ between a fault-free
+    run and a chaos run that reconnects; everything else (the actual
+    answer and the model-time accounting) must match byte for byte.
+
+    ``drop_model_times`` additionally strips the model-time fields:
+    cross-*placement* comparisons (a failover replays the job on a
+    device whose simulated clock sits at a different absolute instant)
+    see ULP-level rounding drift in ``end - start`` even though the
+    simulated work is identical. The answer fields always stay exact.
+    """
+    out = dict(record)
+    out.pop("wall_time_s", None)
+    out.pop("job_id", None)
+    if drop_model_times:
+        out.pop("model_time_s", None)
+        out.pop("stage_model_times_s", None)
+    return out

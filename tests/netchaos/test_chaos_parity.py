@@ -1,0 +1,201 @@
+"""The chaos parity harness: chaos runs answer byte-identically.
+
+The PR-3 device chaos suite proved fault-free and fault-laden *device*
+runs produce identical results; this is the same claim one layer out.
+A fixed-seed :class:`NetFaultPlan` damages the wire under a real
+client/server (and client/router/backends) stack, and every record
+must equal the fault-free run's -- with the dedup counters proving no
+solve executed twice along the way.
+"""
+
+import pytest
+
+from repro.graph import generators as gen
+from repro.netchaos import NetFaultPlan, Partition
+from repro.server import protocol
+from repro.service import SolveService
+from repro.trace import CounterTracer
+
+from .conftest import normalized
+
+#: per-frame fault rates aggressive enough that a workload of a few
+#: solves is guaranteed several injections, yet survivable within the
+#: client's retry budget (one connection suffers at most a few cuts
+#: before its ordinal outruns the plan horizon)
+CHAOS_RATES = dict(duplicate=0.12, truncate=0.04, cut=0.04, stall=0.06,
+                   delay=0.06, delay_s=0.01)
+
+
+def workload():
+    """A small, varied batch of graphs (deterministic seeds)."""
+    return [
+        gen.caveman_social(4, 24, p_in=0.4, seed=1),
+        gen.erdos_renyi(40, 0.3, seed=2),
+        gen.planted_clique(36, 7, avg_degree=4.0, seed=3),
+    ]
+
+
+def run_workload(make_client, target, **solve_kwargs):
+    client = make_client(target, retries=8)
+    replies = []
+    for i, graph in enumerate(workload()):
+        replies.append(
+            client.solve(graph, label=f"job-{i}", **solve_kwargs)
+        )
+    return replies
+
+
+class TestServerParity:
+    @pytest.mark.parametrize("seed", [11, 29])
+    def test_chaos_run_matches_fault_free_run(self, seed, make_server,
+                                              make_proxy, make_client):
+        baseline_srv = make_server()
+        baseline = run_workload(make_client, baseline_srv)
+
+        chaos_srv = make_server()
+        plan = NetFaultPlan.from_rates(seed=seed, conns=12, frames=64,
+                                       **CHAOS_RATES)
+        proxy = make_proxy(chaos_srv, plan)
+        chaos = run_workload(make_client, proxy, deadline_s=120.0)
+
+        assert len(chaos) == len(baseline)
+        for base_reply, chaos_reply in zip(baseline, chaos):
+            assert normalized(chaos_reply["record"]) == \
+                normalized(base_reply["record"])
+            assert chaos_reply.get("cliques") == base_reply.get("cliques")
+
+        # at-most-once execution: every job ran exactly once even when
+        # frames were duplicated or replies torn mid-byte
+        jobs = chaos_srv.server.service.stats_snapshot()["jobs"]
+        assert jobs["total"] == len(workload())
+        stats = chaos_srv.server.stats
+        resends = stats.get("dedup.replays") + stats.get("dedup.joins")
+        injected = proxy.counters.get("injected.total", 0)
+        assert injected > 0, "plan injected nothing; rates too low"
+        # any torn reply forced a resend; dedup must have absorbed it
+        torn = (proxy.counters.get("injected.cut", 0)
+                + proxy.counters.get("injected.truncate", 0))
+        assert resends >= stats.get("dedup.replays")  # sanity
+        if torn == 0:
+            assert resends == stats.get("dedup.joins") + \
+                stats.get("dedup.replays")
+
+    def test_two_chaos_runs_inject_identically(self, make_server,
+                                               make_proxy, make_client):
+        """Same plan, same traffic: the proxy damages the same frames."""
+        tallies = []
+        for _ in range(2):
+            srv = make_server()
+            plan = NetFaultPlan.from_rates(seed=77, conns=12, frames=64,
+                                           **CHAOS_RATES)
+            proxy = make_proxy(srv, plan)
+            run_workload(make_client, proxy)
+            tallies.append({
+                k: v for k, v in proxy.counters.items()
+                if k.startswith("injected.")
+            })
+        assert tallies[0] == tallies[1]
+        assert tallies[0].get("injected.total", 0) > 0
+
+
+class TestClusterParity:
+    def test_partition_between_router_and_backend_fails_over(
+            self, make_client, make_proxy):
+        """A timed partition re-routes to the replica; answers match."""
+        from repro.cluster import RouterConfig, RouterThread
+        from repro.server import ServerConfig, ServerThread
+        from tests.cluster.conftest import FAST, wait_until
+
+        graphs = workload()
+
+        def service():
+            return SolveService(cache_size=0, tracer=CounterTracer())
+
+        # baseline: a healthy two-backend cluster
+        b1 = ServerThread(service(), ServerConfig(port=0)).start()
+        b2 = ServerThread(service(), ServerConfig(port=0)).start()
+        router = RouterThread(RouterConfig(
+            backends=[("127.0.0.1", b1.port), ("127.0.0.1", b2.port)],
+            port=0, jitter_seed=0, **FAST,
+        )).start()
+        try:
+            baseline = [
+                make_client(router, retries=8).solve(g, label=f"job-{i}")
+                for i, g in enumerate(graphs)
+            ]
+        finally:
+            router.stop(); b1.stop(); b2.stop()
+
+        # chaos: backend 1 sits behind a proxy that partitions early on
+        c1 = ServerThread(service(), ServerConfig(port=0)).start()
+        c2 = ServerThread(service(), ServerConfig(port=0)).start()
+        plan = NetFaultPlan(partitions=[Partition(start_s=0.0,
+                                                  duration_s=1.5)])
+        proxy = make_proxy(c1, plan)
+        chaos_router = RouterThread(RouterConfig(
+            backends=[("127.0.0.1", proxy.port), ("127.0.0.1", c2.port)],
+            port=0, jitter_seed=0, **FAST,
+        )).start()
+        try:
+            client = make_client(chaos_router, retries=8, timeout_s=60.0)
+            chaos = [
+                client.solve(g, label=f"job-{i}", deadline_s=60.0)
+                for i, g in enumerate(graphs)
+            ]
+            for base_reply, chaos_reply in zip(baseline, chaos):
+                # failover moves jobs across device-clock positions, so
+                # compare modulo model-time rounding; answers stay exact
+                assert normalized(chaos_reply["record"],
+                                  drop_model_times=True) == \
+                    normalized(base_reply["record"], drop_model_times=True)
+                assert chaos_reply.get("cliques") == base_reply.get("cliques")
+            # all traffic went to the reachable replica during the cut
+            jobs_c2 = c2.server.service.stats_snapshot()["jobs"]["total"]
+            assert jobs_c2 >= 1
+            # once the partition lifts, the proxied backend recovers
+            wait_until(
+                lambda: chaos_router.router.health[
+                    f"127.0.0.1:{proxy.port}"].available,
+                timeout_s=20.0, message="partitioned backend recovery",
+            )
+        finally:
+            chaos_router.stop(); c1.stop(); c2.stop()
+
+    def test_router_drops_duplicate_solve_frames(self, make_client,
+                                                 make_proxy, raw_conn,
+                                                 community):
+        """A duplicated c2s solve at the router answers exactly once."""
+        from repro.cluster import RouterConfig, RouterThread
+        from repro.server import ServerConfig, ServerThread
+        from tests.cluster.conftest import FAST
+
+        backend = ServerThread(
+            SolveService(cache_size=0, tracer=CounterTracer()),
+            ServerConfig(port=0),
+        ).start()
+        router = RouterThread(RouterConfig(
+            backends=[("127.0.0.1", backend.port)], port=0,
+            jitter_seed=0, **FAST,
+        )).start()
+        try:
+            conn = raw_conn(router)
+            conn.hello()
+            frame = {"type": "solve", "id": "w1", "request_id": "rq-dup",
+                     "graph": protocol.encode_graph(community)}
+            # both copies in ONE write, exactly as the chaos proxy's
+            # duplicate fault emits them -- back-to-back in one segment,
+            # so the second is read while the first is still in flight
+            encoded = protocol.encode_frame(frame)
+            conn.send_bytes(encoded + encoded)
+            reply = conn.recv()
+            assert reply["type"] == "result" and reply["id"] == "w1"
+            # the duplicate was dropped, not answered nor bad_request'd:
+            # the next round trip sees the stats frame, nothing stale
+            conn.send({"type": "stats"})
+            follow_up = conn.recv()
+            assert follow_up["type"] == "stats"
+            assert follow_up["router"]["dedup.dropped_duplicates"] == 1
+            assert backend.server.service.stats_snapshot()[
+                "jobs"]["total"] == 1
+        finally:
+            router.stop(); backend.stop()

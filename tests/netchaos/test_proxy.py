@@ -1,0 +1,129 @@
+"""The chaos proxy's mechanics: pass-through, each fault kind, partitions."""
+
+import time
+
+import pytest
+
+from repro.errors import ServerError
+from repro.netchaos import NetFaultEvent, NetFaultPlan, Partition
+
+from .conftest import normalized
+
+
+class TestPassThrough:
+    def test_transparent_relay_parity(self, make_server, make_proxy,
+                                      make_client, community):
+        """An empty plan is a byte pipe: same reply as the direct path.
+
+        Each path gets its own fresh server so both jobs start at the
+        same simulated device-clock instant -- the comparison is then
+        byte-exact, not merely answer-exact.
+        """
+        direct_srv, proxied_srv = make_server(), make_server()
+        proxy = make_proxy(proxied_srv)
+        direct = make_client(direct_srv).solve(community, label="g")
+        proxied = make_client(proxy).solve(community, label="g")
+        assert normalized(proxied["record"]) == normalized(direct["record"])
+        assert proxied["cliques"] == direct["cliques"]
+        counters = proxy.counters
+        assert counters.get("injected.total", 0) == 0
+        assert counters["frames.c2s"] >= 2  # hello + solve
+        assert counters["frames.s2c"] >= 2
+
+    def test_upstream_refused_aborts_client(self, make_proxy, make_client):
+        from tests.cluster.conftest import free_port
+
+        proxy = make_proxy(("127.0.0.1", free_port()))
+        client = make_client(proxy, retries=1, backoff_s=0.01)
+        with pytest.raises(ServerError, match="connect|failed"):
+            client.connect()
+        assert proxy.counters.get("conns.upstream_refused", 0) >= 1
+
+
+class TestFaultKinds:
+    def test_delay_holds_the_frame(self, make_server, make_proxy, make_client):
+        server = make_server()
+        plan = NetFaultPlan([
+            NetFaultEvent(conn=0, direction="c2s", frame=0, kind="delay",
+                          delay_s=0.3),
+        ])
+        proxy = make_proxy(server, plan)
+        client = make_client(proxy)
+        t0 = time.perf_counter()
+        client.connect()
+        assert time.perf_counter() - t0 >= 0.3
+        assert proxy.counters.get("injected.delay") == 1
+
+    def test_stall_splits_but_delivers(self, make_server, make_proxy,
+                                       make_client, community):
+        server = make_server()
+        plan = NetFaultPlan([
+            NetFaultEvent(conn=0, direction="s2c", frame=1, kind="stall",
+                          delay_s=0.2, at_byte=7),
+        ])
+        proxy = make_proxy(server, plan)
+        reply = make_client(proxy).solve(community)
+        assert reply["record"]["status"] == "ok"
+        assert proxy.counters.get("injected.stall") == 1
+
+    def test_duplicate_is_absorbed(self, make_server, make_proxy,
+                                   make_client, community):
+        """A duplicated reply must not confuse the next round trip."""
+        server = make_server()
+        plan = NetFaultPlan([
+            NetFaultEvent(conn=0, direction="s2c", frame=1, kind="duplicate"),
+        ])
+        proxy = make_proxy(server, plan)
+        client = make_client(proxy)
+        first = client.solve(community)
+        # the duplicated result frame is still buffered on this socket;
+        # the stale-reply skip must discard it, not return it here
+        second = client.solve(community)
+        assert first["record"]["status"] == "ok"
+        assert second["record"]["status"] == "ok"
+        assert second["id"] != first["id"]
+        assert proxy.counters.get("injected.duplicate") == 1
+
+    def test_truncate_breaks_the_reply_then_retry_recovers(
+            self, make_server, make_proxy, make_client, community):
+        server = make_server()
+        plan = NetFaultPlan([
+            NetFaultEvent(conn=0, direction="s2c", frame=1, kind="truncate",
+                          at_byte=25),
+        ])
+        proxy = make_proxy(server, plan)
+        reply = make_client(proxy).solve(community)
+        assert reply["record"]["status"] == "ok"
+        assert proxy.counters.get("injected.truncate") == 1
+
+    def test_cut_resets_then_retry_recovers(self, make_server, make_proxy,
+                                            make_client, community):
+        server = make_server()
+        plan = NetFaultPlan([
+            NetFaultEvent(conn=0, direction="c2s", frame=1, kind="cut",
+                          at_byte=40),
+        ])
+        proxy = make_proxy(server, plan)
+        reply = make_client(proxy).solve(community)
+        assert reply["record"]["status"] == "ok"
+        assert proxy.counters.get("injected.cut") == 1
+
+
+class TestPartitions:
+    def test_partition_refuses_and_severs(self, make_server, make_proxy,
+                                          make_client, community):
+        server = make_server()
+        plan = NetFaultPlan(partitions=[Partition(start_s=0.0,
+                                                  duration_s=0.6)])
+        proxy = make_proxy(server, plan)
+        client = make_client(proxy, retries=0)
+        with pytest.raises(ServerError):
+            client.solve(community)
+        counters = proxy.counters
+        assert (counters.get("partitions.refused_conns", 0)
+                + counters.get("partitions.dropped_frames", 0)
+                + counters.get("partitions.dropped_conns", 0)) >= 1
+        # after the window closes the same proxy carries traffic again
+        time.sleep(0.7)
+        healed = make_client(proxy)
+        assert healed.solve(community)["record"]["status"] == "ok"
