@@ -1,0 +1,260 @@
+"""Mutation throughput of streaming graph sessions.
+
+Two measurements against the largest suite graph of the server bench
+set (by edge count):
+
+* **In-process**: a :class:`~repro.stream.GraphSession` absorbs a
+  seeded stream of small insert/delete batches; the incremental
+  per-batch latency is compared against solving the same epoch's
+  graph from scratch. The localized path must win (that is the point
+  of the subsystem) and the maintained answer must match a fresh
+  :class:`~repro.stream.IncrementalSolver` bootstrap at sampled
+  epochs -- same ω, same clique count, same witness, same graph
+  fingerprint.
+* **Over the wire**: the same stream as ``mutate`` frames against an
+  in-process :class:`~repro.server.ServerThread`, with one subscriber
+  attached; reports mutations/second and asserts the subscriber saw a
+  strictly monotone epoch sequence ending at the final epoch.
+
+Every run appends its cells to ``BENCH_stream.json`` at the repo
+root -- the same append-only ``repro-bench/1`` trajectory idiom as
+``BENCH_server.json``.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.datasets import load
+from repro.server import ServerConfig, ServerThread, SolveClient
+from repro.service import SolveService
+from repro.stream import GraphSession, IncrementalSolver, local_solve_batch
+from repro.trace import CounterTracer
+
+from conftest import run_once
+
+#: same candidate set as bench_server_latency; the bench picks the
+#: largest by |E| so the scratch/incremental gap is measured where it
+#: matters most
+GRAPHS = ["soc-comm-10x50", "road-grid-60", "ca-team-1k", "bio-cl-1k"]
+
+N_BATCHES = 24
+EDGES_PER_BATCH = 3
+DELETE_EVERY = 4  # every 4th batch deletes instead of inserting
+PARITY_SAMPLES = 4  # epochs cross-checked against a fresh bootstrap
+SCRATCH_SAMPLES = 4  # from-scratch solves timed for the baseline
+
+BENCH_SCHEMA = "repro-bench/1"
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_stream.json")
+
+
+def _record_trajectory(rows):
+    """Append one run's cells to the ``BENCH_stream.json`` trajectory."""
+    path = os.path.abspath(BENCH_PATH)
+    doc = {"schema": BENCH_SCHEMA, "benchmark": "stream_mutations", "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if existing.get("schema") == BENCH_SCHEMA:
+                doc = existing
+        except (OSError, ValueError):
+            pass  # unreadable artifact: start a fresh trajectory
+    doc["runs"].append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "batches": N_BATCHES,
+            "edges_per_batch": EDGES_PER_BATCH,
+            "cells": rows,
+        }
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _largest_graph():
+    """(name, graph) of the candidate with the most edges."""
+    loaded = [(name, load(name)) for name in GRAPHS]
+    return max(loaded, key=lambda item: item[1].num_edges)
+
+
+def _mutation_stream(graph, rng, n_batches=N_BATCHES):
+    """Seeded insert/delete batches over the graph's vertex universe.
+
+    Inserts are currently-absent pairs (tracked against the growing
+    edge set), deletes re-remove previously inserted edges -- small
+    batches, so the localized path carries the majority of them.
+    """
+    n = graph.num_vertices
+    present = set()
+    src, dst = graph.to_edge_list()
+    for u, v in zip(src.tolist(), dst.tolist()):
+        present.add((u, v) if u < v else (v, u))
+    inserted_pool = []
+    batches = []
+    for i in range(n_batches):
+        if i % DELETE_EVERY == DELETE_EVERY - 1 and len(inserted_pool) >= 2:
+            picks = rng.choice(len(inserted_pool), size=2, replace=False)
+            batch_del = [inserted_pool[int(p)] for p in sorted(picks)]
+            for e in batch_del:
+                inserted_pool.remove(e)
+                present.discard(e)
+            batches.append(((), tuple(batch_del)))
+            continue
+        batch_ins = []
+        while len(batch_ins) < EDGES_PER_BATCH:
+            u, v = (int(x) for x in rng.integers(0, n, size=2))
+            if u == v:
+                continue
+            e = (u, v) if u < v else (v, u)
+            if e in present:
+                continue
+            present.add(e)
+            inserted_pool.append(e)
+            batch_ins.append(e)
+        batches.append((tuple(batch_ins), ()))
+    return batches
+
+
+def _assert_parity(session, config):
+    """The maintained view must equal a fresh bootstrap of this epoch."""
+    graph = session.mutable.materialize()
+    fresh = IncrementalSolver(config, local_solve_batch)
+    state = fresh.bootstrap(graph)
+    view = session.view
+    assert view.omega == state.omega, (view.omega, state.omega)
+    assert view.num_maximum_cliques == state.num_maximum_cliques
+    assert view.witness == state.witness, (view.witness, state.witness)
+    assert view.fingerprint == graph.fingerprint()
+
+
+def _inprocess_sweep():
+    name, graph = _largest_graph()
+    config = SolverConfig()
+    rng = np.random.default_rng(20260808)
+    batches = _mutation_stream(graph, rng)
+    session = GraphSession("bench", graph, config)
+
+    latencies = []
+    parity_at = set(
+        int(e)
+        for e in np.linspace(1, len(batches), num=PARITY_SAMPLES, dtype=int)
+    )
+    for i, (ins, dels) in enumerate(batches, start=1):
+        t0 = time.perf_counter()
+        session.apply(ins, dels, request_id=f"bench-{i}")
+        latencies.append(time.perf_counter() - t0)
+        if i in parity_at:
+            _assert_parity(session, config)
+
+    # from-scratch baseline: time full solves of sampled epoch graphs
+    # (here: the final epoch, the one a non-incremental server would
+    # have to re-solve on every mutation)
+    final = session.mutable.materialize()
+    scratch = []
+    for _ in range(SCRATCH_SAMPLES):
+        t0 = time.perf_counter()
+        local_solve_batch([(final, config)])
+        scratch.append(time.perf_counter() - t0)
+
+    stats = session.stats()
+    incremental_mean = sum(latencies) / len(latencies)
+    scratch_mean = sum(scratch) / len(scratch)
+    row = {
+        "mode": "in-process",
+        "graph": name,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "batches": len(batches),
+        "incremental_batches": stats["incremental_batches"],
+        "full_solves": stats["full_solves"],
+        "localized_solves": stats["localized_solves"],
+        "mutations_per_s": len(batches) / sum(latencies),
+        "incremental_mean_ms": incremental_mean * 1e3,
+        "scratch_mean_ms": scratch_mean * 1e3,
+        "speedup_vs_scratch": scratch_mean / incremental_mean,
+    }
+    return row, stats
+
+
+def _wire_sweep():
+    name, graph = _largest_graph()
+    rng = np.random.default_rng(20260808)
+    batches = _mutation_stream(graph, rng)
+    service = SolveService(devices=2, tracer=CounterTracer(), executor="threaded", workers=2)
+    handle = ServerThread(service, ServerConfig(port=0, max_conns=16))
+    handle.start()
+    epochs = []
+
+    def _watch():
+        with SolveClient(port=handle.port, timeout_s=120.0) as watcher:
+            for frame in watcher.subscribe("bench-wire"):
+                epochs.append(frame["epoch"])
+                if frame.get("closed"):
+                    return
+
+    try:
+        with SolveClient(port=handle.port, timeout_s=120.0) as client:
+            opened = client.open_session(name, session="bench-wire")
+            assert opened["epoch"] == 0
+            sub = threading.Thread(target=_watch, daemon=True)
+            sub.start()
+            t0 = time.perf_counter()
+            for ins, dels in batches:
+                frame = client.mutate("bench-wire", insert=ins, delete=dels)
+                assert frame["session"] == "bench-wire"
+            elapsed = time.perf_counter() - t0
+            final = client.close_session("bench-wire")
+            sub.join(timeout=30.0)
+            assert not sub.is_alive(), "subscriber never saw the close"
+    finally:
+        handle.stop()
+
+    # the subscriber's epochs are monotone non-decreasing (coalescing
+    # may skip epochs under load, never rewind) and end at the close
+    assert all(a <= b for a, b in zip(epochs, epochs[1:])), epochs
+    assert final["epoch"] == len(batches)
+    assert epochs[-1] == final["epoch"], (epochs[-1], final["epoch"])
+    row = {
+        "mode": "wire",
+        "graph": name,
+        "batches": len(batches),
+        "mutations_per_s": len(batches) / elapsed,
+        "updates_delivered": len(epochs),
+    }
+    return row, epochs
+
+
+def _print_row(row):
+    print(f"\n{row['mode']} ({row['graph']}):")
+    for key in sorted(row):
+        if key in ("mode", "graph"):
+            continue
+        value = row[key]
+        if isinstance(value, float):
+            value = f"{value:.2f}"
+        print(f"  {key:>22}: {value}")
+
+
+def test_stream_mutation_throughput(benchmark):
+    """Incremental re-solve must beat from-scratch on the big graph."""
+    row, stats = run_once(benchmark, _inprocess_sweep)
+    _print_row(row)
+    _record_trajectory([row])
+    # the localized path must carry the majority of the batches...
+    assert stats["incremental_batches"] > row["batches"] / 2, stats
+    # ...and absorbing a mutation must be cheaper than re-solving
+    assert row["speedup_vs_scratch"] > 1.0, row
+
+
+def test_stream_wire_throughput():
+    """Same stream as mutate frames against a real server."""
+    row, epochs = _wire_sweep()
+    _print_row(row)
+    _record_trajectory([row])
+    assert row["updates_delivered"] >= 2  # snapshot + at least the close

@@ -828,6 +828,116 @@ def _cmd_client_shutdown(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_pairs(pairs: List[str]) -> List[tuple]:
+    """``["0,1", "2,3"]`` -> ``[(0, 1), (2, 3)]`` (CLI mutation syntax)."""
+    out_pairs = []
+    for spec in pairs:
+        u, sep, v = spec.partition(",")
+        if not sep or not u.strip().isdigit() or not v.strip().isdigit():
+            raise SystemExit(
+                f"error: edge {spec!r} is not of the form U,V (two "
+                "non-negative integers)"
+            )
+        out_pairs.append((int(u), int(v)))
+    return out_pairs
+
+
+def _format_update(frame: dict) -> str:
+    witness = ",".join(str(v) for v in frame.get("witness", []))
+    tags = [frame.get("path", "?")]
+    if frame.get("replayed"):
+        tags.append("replayed")
+    if frame.get("closed"):
+        tags.append("closed")
+    return (
+        f"epoch {frame.get('epoch', '?'):>4}: omega={frame.get('omega', '?')} "
+        f"maximum_cliques={frame.get('num_maximum_cliques', '?')} "
+        f"witness=[{witness}] ({', '.join(tags)})"
+    )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, ServerError
+
+    try:
+        if args.graph is not None:
+            graph = _load(args.graph) if Path(args.graph).exists() else args.graph
+            opener = _make_client(args)
+            with opener:
+                opened = opener.open_session(graph, session=args.session)
+            if not args.json:
+                out.info(
+                    f"opened session {opened['session']!r} "
+                    f"(|V|={opened['num_vertices']}, "
+                    f"|E|={opened['num_edges']})"
+                )
+        watcher = _make_client(args)
+        seen = 0
+        with watcher:
+            for frame in watcher.subscribe(args.session):
+                if args.json:
+                    import json
+
+                    sys.stdout.write(json.dumps(frame) + "\n")
+                    sys.stdout.flush()
+                else:
+                    out.info(_format_update(frame))
+                seen += 1
+                if frame.get("closed"):
+                    break
+                if args.max_updates is not None and seen >= args.max_updates:
+                    break
+    except KeyboardInterrupt:
+        return 0
+    except (ServerError, ProtocolError) as exc:
+        code = getattr(exc, "exit_code", 1)
+        out.info(f"error: {exc}")
+        return code if code != 0 else 1
+    return 0
+
+
+def _cmd_client_mutate(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, ServerError
+
+    inserts = _parse_edge_pairs(args.insert or [])
+    deletes = _parse_edge_pairs(args.delete or [])
+    if not inserts and not deletes:
+        out.info("error: nothing to do (pass --insert and/or --delete)")
+        return 1
+    client = _make_client(args)
+    try:
+        with client:
+            frame = client.mutate(args.session, insert=inserts, delete=deletes)
+    except (ServerError, ProtocolError) as exc:
+        code = getattr(exc, "exit_code", 1)
+        out.info(f"error: {exc}")
+        return code if code != 0 else 1
+    if args.json:
+        import json
+
+        sys.stdout.write(json.dumps(frame) + "\n")
+        return 0
+    out.info(_format_update(frame))
+    return 0
+
+
+def _cmd_client_close_session(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, ServerError
+
+    client = _make_client(args)
+    try:
+        with client:
+            frame = client.close_session(args.session)
+    except (ServerError, ProtocolError) as exc:
+        code = getattr(exc, "exit_code", 1)
+        out.info(f"error: {exc}")
+        return code if code != 0 else 1
+    out.info(
+        f"closed session {frame.get('session')!r} at " + _format_update(frame)
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .graph.stats import analyze
 
@@ -1265,6 +1375,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     _add_client_args(p_cshut)
     p_cshut.set_defaults(func=_cmd_client_shutdown)
+
+    p_cmut = client_sub.add_parser(
+        "mutate", help="apply an edge insert/delete batch to a session"
+    )
+    p_cmut.add_argument("session", help="session id (see 'repro watch')")
+    p_cmut.add_argument(
+        "--insert", action="append", metavar="U,V", default=None,
+        help="edge to insert; repeat for a batch",
+    )
+    p_cmut.add_argument(
+        "--delete", action="append", metavar="U,V", default=None,
+        help="edge to delete; repeat for a batch",
+    )
+    p_cmut.add_argument(
+        "--json", action="store_true",
+        help="emit the mutated frame as JSON",
+    )
+    _add_client_args(p_cmut)
+    p_cmut.set_defaults(func=_cmd_client_mutate)
+
+    p_cclose = client_sub.add_parser(
+        "close-session", help="close a streaming graph session"
+    )
+    p_cclose.add_argument("session", help="session id to close")
+    _add_client_args(p_cclose)
+    p_cclose.set_defaults(func=_cmd_client_close_session)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="subscribe to a streaming session and print ω(G) transitions",
+    )
+    p_watch.add_argument("session", help="session id to watch (or open)")
+    p_watch.add_argument(
+        "--graph", default=None, metavar="GRAPH",
+        help="open the session first with this graph file or dataset name "
+        "(omit to attach to an already-open session)",
+    )
+    p_watch.add_argument(
+        "--max-updates", type=int, default=None, metavar="N",
+        help="exit after N update frames (default: run until closed)",
+    )
+    p_watch.add_argument(
+        "--json", action="store_true",
+        help="emit update frames as JSON lines",
+    )
+    _add_client_args(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_cluster = sub.add_parser(
         "cluster-status",

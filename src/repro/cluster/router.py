@@ -159,6 +159,12 @@ class Router:
         self._draining = False
         self._conns: Set[_ClientConn] = set()
         self._inflight: Dict[str, _InFlight] = {}
+        #: session id -> backend name (resident state lives *there*)
+        self._pinned: Dict[str, str] = {}
+        #: sessions whose pinned backend died; their resident graph and
+        #: incremental state are gone, so operations fail with the
+        #: non-retriable ``session_lost`` until the client reopens
+        self._lost_sessions: Set[str] = set()
         self._bg_tasks: Set[asyncio.Task] = set()
         self._next_cid = 0
         self._next_rid = 0
@@ -283,6 +289,18 @@ class Router:
         if health is not None and health.state != DOWN:
             health.note_lost()
             log.warning("backend %s marked down (connection lost)", link.name)
+        for sid, name in list(self._pinned.items()):
+            if name == link.name:
+                self._mark_session_lost(sid)
+
+    def _mark_session_lost(self, sid: str) -> None:
+        """A pinned backend died: its sessions' resident state is gone."""
+        if self._pinned.pop(sid, None) is not None:
+            log.warning("session %r lost with its backend", sid)
+            self.stats.inc("sessions.lost")
+        self._lost_sessions.add(sid)
+        while len(self._lost_sessions) > 4096:  # bounded tombstone set
+            self._lost_sessions.pop()
 
     # ------------------------------------------------------------------
     # checkpoint polling (failover state shipping)
@@ -367,12 +385,20 @@ class Router:
             problems = [p for p in protocol.SUPPORTED_PROBLEMS if p in inter]
         else:
             problems = list(protocol.SUPPORTED_PROBLEMS)
+        streaming = [
+            bool(link.hello.get("streaming"))
+            for link in self.links.values()
+            if link.hello
+        ]
         return {
             "type": "hello",
             "protocol": protocol.PROTOCOL,
             "server": f"repro-router/{__version__}",
             "max_frame_bytes": self.config.max_frame_bytes,
             "problems": problems,
+            # sessions pin to one backend, so streaming is offered only
+            # when every reachable backend speaks it
+            "streaming": all(streaming) if streaming else True,
             "backends": len(self.links),
         }
 
@@ -463,6 +489,10 @@ class Router:
             await self._on_forwarded(conn, frame, ftype)
         elif ftype == "cancel":
             await self._on_forwarded(conn, frame, "cancel")
+        elif ftype in ("open-session", "mutate", "close-session"):
+            await self._on_session_op(conn, frame, ftype)
+        elif ftype == "subscribe":
+            await self._on_subscribe(conn, frame)
         elif ftype == "shutdown":
             await self._send(
                 conn,
@@ -742,6 +772,291 @@ class Router:
                 entry.conn.jobs.pop(entry.request_id, None)
 
     # ------------------------------------------------------------------
+    # streaming sessions (pinning + passthrough)
+    # ------------------------------------------------------------------
+    #: session frame type -> the reply frame type that answers it
+    _SESSION_REPLY = {
+        "open-session": "session-opened",
+        "mutate": "mutated",
+        "close-session": "session-closed",
+    }
+
+    def _pick_session_backend(self, sid: str) -> Optional[str]:
+        """First available backend on the ring for this session id.
+
+        Sessions hash by id alone -- the id is chosen by the *client*
+        before any server state exists, which is what lets a retried
+        ``open-session`` land on the same backend and dedup there.
+        """
+        for name in self.ring.preference(f"session:{sid}"):
+            if self.health[name].available:
+                return name
+        return None
+
+    async def _on_session_op(
+        self, conn: _ClientConn, frame: Dict[str, Any], ftype: str
+    ) -> None:
+        request_id = frame.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            await self._send_error(conn, "bad_request", "'id' must be a string")
+            return
+        try:
+            sid = protocol.validate_session_id(frame)
+        except ProtocolError as exc:
+            await self._send_error(
+                conn, exc.code, str(exc), request_id=request_id
+            )
+            return
+        if self._draining:
+            self.stats.inc("rejects.draining")
+            await self._send_error(
+                conn, "draining", "router is draining", request_id=request_id
+            )
+            return
+        if ftype == "open-session":
+            name = self._pinned.get(sid)
+            if name is None or not self.health[name].available:
+                name = self._pick_session_backend(sid)
+            if name is None:
+                self.stats.inc("rejects.no_backend")
+                await self._send_error(
+                    conn,
+                    "no_backend",
+                    "no healthy backend available for this session",
+                    request_id=request_id,
+                    retry_after_s=self.config.probe_interval_s,
+                )
+                return
+        else:
+            name = self._pinned.get(sid)
+            if name is None:
+                code = (
+                    "session_lost"
+                    if sid in self._lost_sessions
+                    else "unknown_session"
+                )
+                self.stats.inc(f"sessions.{code}")
+                await self._send_error(
+                    conn,
+                    code,
+                    f"session {sid!r} is not resident behind this router"
+                    + (
+                        "; its backend died -- reopen it"
+                        if code == "session_lost"
+                        else ""
+                    ),
+                    request_id=request_id,
+                )
+                return
+            if not self.health[name].available:
+                self._mark_session_lost(sid)
+                await self._send_error(
+                    conn,
+                    "session_lost",
+                    f"backend holding session {sid!r} is down; its "
+                    "resident state is gone -- reopen the session",
+                    request_id=request_id,
+                )
+                return
+        rid = f"rt-s{self._next_rid}"
+        self._next_rid += 1
+        wire = dict(frame)
+        wire["id"] = rid
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(
+            self._drive_session_op(conn, request_id, sid, name, wire, ftype)
+        )
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _drive_session_op(
+        self,
+        conn: _ClientConn,
+        request_id: Optional[str],
+        sid: str,
+        name: str,
+        wire: Dict[str, Any],
+        ftype: str,
+    ) -> None:
+        """Forward one session operation to its pinned backend."""
+        link = self.links[name]
+        self.stats.inc("routed.total")
+        self.stats.inc(f"routed.{name}")
+        try:
+            reply = await link.request(wire, (self._SESSION_REPLY[ftype],))
+        except BackendLostError:
+            self.health[name].note_failure()
+            if ftype == "open-session":
+                # nothing was pinned yet: the retried open (same
+                # request_id) simply lands on the next live backend
+                self.stats.inc("sessions.open_failed")
+                await self._send_error(
+                    conn,
+                    "no_backend",
+                    f"backend {name} lost while opening session {sid!r}",
+                    request_id=request_id,
+                    retry_after_s=self.config.probe_interval_s,
+                )
+            else:
+                self._mark_session_lost(sid)
+                await self._send_error(
+                    conn,
+                    "session_lost",
+                    f"backend {name} died holding session {sid!r}; its "
+                    "resident state is gone -- reopen the session",
+                    request_id=request_id,
+                )
+            return
+        except ServerError as exc:
+            self.stats.inc(f"sessions.{exc.code}")
+            out = protocol.error_frame(
+                exc.code,
+                str(exc),
+                request_id,
+                getattr(exc, "retry_after_s", None),
+            )
+            out["retriable"] = exc.retriable
+            out["exit_code"] = exc.exit_code
+            await self._send(conn, out)
+            return
+        self.health[name].note_success()
+        if ftype == "open-session":
+            self._pinned[sid] = name
+            self._lost_sessions.discard(sid)
+            self.stats.inc("sessions.opened")
+        elif ftype == "close-session":
+            self._pinned.pop(sid, None)
+            self.stats.inc("sessions.closed")
+        else:
+            self.stats.inc("sessions.mutated")
+        out = dict(reply)
+        if request_id is not None:
+            out["id"] = request_id
+        else:
+            out.pop("id", None)
+        await self._send(conn, out)
+
+    async def _on_subscribe(
+        self, conn: _ClientConn, frame: Dict[str, Any]
+    ) -> None:
+        """Attach a passthrough pipe to the session's pinned backend.
+
+        The router dials a dedicated plain connection to the backend,
+        forwards the subscribe frame verbatim, and relays every frame
+        the backend pushes -- update frames already carry the client's
+        subscribe id, so no rewriting is needed and the stream stays
+        byte-faithful to a direct subscription.
+        """
+        rid = frame.get("id")
+        if not isinstance(rid, str) or not rid:
+            await self._send_error(
+                conn, "bad_request", "subscribe needs an 'id' string"
+            )
+            return
+        try:
+            sid = protocol.validate_session_id(frame)
+        except ProtocolError as exc:
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        name = self._pinned.get(sid)
+        if name is None:
+            code = (
+                "session_lost"
+                if sid in self._lost_sessions
+                else "unknown_session"
+            )
+            self.stats.inc(f"sessions.{code}")
+            await self._send_error(
+                conn,
+                code,
+                f"session {sid!r} is not resident behind this router",
+                request_id=rid,
+            )
+            return
+        if not self.health[name].available:
+            self._mark_session_lost(sid)
+            await self._send_error(
+                conn,
+                "session_lost",
+                f"backend holding session {sid!r} is down",
+                request_id=rid,
+            )
+            return
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._subscribe_pipe(conn, frame, name))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _subscribe_pipe(
+        self, conn: _ClientConn, frame: Dict[str, Any], name: str
+    ) -> None:
+        rid, sid = frame["id"], frame.get("session")
+        link = self.links[name]
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(
+                    link.host, link.port, limit=self.config.max_frame_bytes
+                ),
+                self.config.probe_timeout_s,
+            )
+            writer.write(
+                protocol.encode_frame(
+                    {
+                        "type": "hello",
+                        "protocol": protocol.PROTOCOL,
+                        "client": "repro-router",
+                    }
+                )
+            )
+            await writer.drain()
+            hello_line = await asyncio.wait_for(
+                reader.readline(), self.config.probe_timeout_s
+            )
+            if not hello_line:
+                raise ConnectionError("backend closed during handshake")
+            writer.write(protocol.encode_frame(frame))
+            await writer.drain()
+            self.stats.inc("sessions.subscribes")
+            while not conn.closed:
+                line = await reader.readline()
+                if not line:
+                    # the backend died mid-subscription: the watcher
+                    # must learn its view can no longer advance
+                    if not conn.closed:
+                        self._mark_session_lost(sid)
+                        await self._send_error(
+                            conn,
+                            "session_lost",
+                            f"backend {name} lost mid-subscription of "
+                            f"session {sid!r}",
+                            request_id=rid,
+                        )
+                    return
+                try:
+                    out = protocol.decode_frame(line)
+                except ProtocolError:
+                    continue
+                await self._send(conn, out)
+                self.stats.inc("sessions.updates_relayed")
+                if out.get("closed"):
+                    return
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+            if not conn.closed:
+                await self._send_error(
+                    conn,
+                    "session_lost",
+                    f"subscription to backend {name} failed: {exc}",
+                    request_id=rid,
+                )
+        finally:
+            if writer is not None:
+                with contextlib.suppress(Exception):
+                    writer.close()
+
+    # ------------------------------------------------------------------
     # forwarded small frames
     # ------------------------------------------------------------------
     async def _on_forwarded(
@@ -816,6 +1131,8 @@ class Router:
                     1 for h in self.health.values() if h.available
                 ),
                 ring_replicas=self.ring.replicas,
+                sessions_pinned=len(self._pinned),
+                sessions_lost=len(self._lost_sessions),
             ),
             "backends": backends,
         }

@@ -141,6 +141,20 @@ class SolverConfig:
     k:
         The clique size counted by ``problem="k-clique-count"``;
         required there and forbidden for the other kinds.
+    omega_floor:
+        Pruning floor carried in from outside knowledge (streaming
+        sessions: the previous epoch's ω is a valid lower bound after
+        edge inserts). The search bound starts at
+        ``max(heuristic lower bound, 2, omega_floor)``, so every
+        clique of size ``>= omega_floor`` is still enumerated exactly,
+        but anything smaller may be pruned away: when the returned
+        ``clique_number`` is below the floor the result only means
+        "no clique of size >= omega_floor exists" and the reported
+        clique rows are a heuristic fallback, not an enumeration.
+        Callers that set a floor must therefore discard results whose
+        ``clique_number`` falls below it. Max-clique only; part of the
+        config fingerprint (a floored solve is a different cache
+        identity).
     """
 
     heuristic: Union[Heuristic, str] = Heuristic.MULTI_DEGREE
@@ -160,6 +174,7 @@ class SolverConfig:
     seed: int = 0
     problem: str = "max-clique"
     k: Optional[int] = None
+    omega_floor: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.heuristic, str):
@@ -225,8 +240,14 @@ class SolverConfig:
                 f"k is only meaningful for problem='k-clique-count' "
                 f"(got problem={self.problem!r})"
             )
+        if (
+            not isinstance(self.omega_floor, int)
+            or isinstance(self.omega_floor, bool)
+            or self.omega_floor < 0
+        ):
+            raise SolverConfigError("omega_floor must be a non-negative integer")
         if self.problem != "max-clique":
-            # both features are ω̄-bound optimisations: unsound when
+            # all three are ω̄-bound optimisations: unsound when
             # every clique (not just the maximum ones) must be visited
             if self.early_exit_heuristic:
                 raise SolverConfigError(
@@ -235,6 +256,10 @@ class SolverConfig:
             if self.coloring_preprune:
                 raise SolverConfigError(
                     "coloring_preprune applies to max-clique only"
+                )
+            if self.omega_floor:
+                raise SolverConfigError(
+                    "omega_floor applies to max-clique only"
                 )
 
     @property
@@ -247,10 +272,13 @@ class SolverConfig:
 _HOST_ONLY_FIELDS = frozenset({"chunk_pairs", "time_limit_s"})
 
 #: Fingerprint schema version. ``v2`` added the ``problem``/``k``
-#: fields; a fingerprint without this prefix predates problem kinds
-#: and MUST NOT be compared against current ones -- a kind-less
-#: fingerprint would silently collide with ``max-clique`` entries.
-FINGERPRINT_VERSION = "v2"
+#: fields; ``v3`` added ``omega_floor`` (streaming sessions carry the
+#: previous epoch's ω as a pruning floor -- a floored solve prunes
+#: differently, so it must cache apart from an unfloored one). A
+#: fingerprint with an older prefix MUST NOT be compared against
+#: current ones -- it would silently collide with entries whose new
+#: fields are at their defaults.
+FINGERPRINT_VERSION = "v3"
 
 
 def config_fingerprint(config: SolverConfig) -> str:
@@ -261,11 +289,12 @@ def config_fingerprint(config: SolverConfig) -> str:
     configuration that would change the answer. Host-side-only knobs
     (``chunk_pairs``, ``time_limit_s``) are excluded.
 
-    The string is prefixed with :data:`FINGERPRINT_VERSION`. Version
-    ``v2`` includes the ``problem`` kind (and its ``k``), so pre-kind
-    ``v1`` fingerprints -- which described max-clique solves only --
-    never compare equal to any current fingerprint: stale cache keys
-    and checkpoints fail loudly instead of colliding.
+    The string is prefixed with :data:`FINGERPRINT_VERSION`, bumped
+    whenever a result-relevant field is added (``v2``: ``problem`` /
+    ``k``; ``v3``: ``omega_floor``), so fingerprints from before the
+    field existed never compare equal to any current fingerprint:
+    stale cache keys and checkpoints fail loudly instead of silently
+    colliding with defaults.
     """
     parts = []
     for f in sorted(fields(config), key=lambda f: f.name):

@@ -22,6 +22,7 @@ __all__ = [
     "NetFaultPlanError",
     "ProtocolError",
     "ServerError",
+    "SessionError",
     "SolverConfigError",
     "SolveTimeoutError",
     "TransientDeviceError",
@@ -134,6 +135,21 @@ class CheckpointError(ReproError, ValueError):
 
 class GraphFormatError(ReproError, ValueError):
     """Raised when a graph file or edge list cannot be parsed/validated."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """Raised on invalid streaming-session operations.
+
+    Unknown or duplicate session ids, malformed mutation batches, a
+    closed session, or the session cap. ``code`` carries the wire
+    error code the server answers with (``unknown_session`` /
+    ``session_exists`` / ``too_many_sessions`` / ``bad_request``, see
+    docs/STREAMING.md).
+    """
+
+    def __init__(self, message: str, code: str = "bad_request") -> None:
+        self.code = code
+        super().__init__(message)
 
 
 class SolverConfigError(ReproError, ValueError):

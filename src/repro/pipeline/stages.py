@@ -129,7 +129,13 @@ class HeuristicStage:
             h=config.heuristic_runs,
             ranks=ctx.ranks if config.heuristic is not Heuristic.NONE else None,
         )
-        ctx.omega_bar = max(ctx.heuristic.lower_bound, 2)
+        # config.omega_floor carries outside knowledge (streaming
+        # sessions: the previous epoch's ω after inserts); anything
+        # below the floor may be pruned, so callers setting a floor
+        # must discard results whose clique_number falls under it
+        ctx.omega_bar = max(
+            ctx.heuristic.lower_bound, 2, config.omega_floor
+        )
         ctx.tracer.counter("heuristic.lower_bound", ctx.heuristic.lower_bound)
 
 

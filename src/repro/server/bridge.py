@@ -65,6 +65,24 @@ class _Pending:
     cancelled: bool = field(default=False)
 
 
+@dataclass
+class _SessionJob:
+    """One queued session operation: a callable run on the worker.
+
+    Session jobs (open / mutate / close, see docs/STREAMING.md) run on
+    the same worker thread as solve batches -- the only thread allowed
+    to drive the blocking service -- *after* the solve batch taken in
+    the same wakeup. The queue is FIFO, which serializes operations
+    per session (epochs apply in arrival order) while operations of
+    different sessions naturally interleave.
+    """
+
+    fn: "object"
+    future: "Future"
+    label: str = ""
+    cancelled: bool = field(default=False)
+
+
 class SolveBridge:
     """Micro-batching worker-thread bridge over one ``SolveService``."""
 
@@ -75,6 +93,7 @@ class SolveBridge:
         self.max_queue = max_queue
         self._cond = threading.Condition()
         self._queue: List[_Pending] = []
+        self._session_queue: List[_SessionJob] = []
         self._states: Dict[str, str] = {}
         #: job id -> newest completed-window checkpoint (in-flight only)
         self._checkpoints: Dict[str, object] = {}
@@ -120,6 +139,29 @@ class SolveBridge:
                 )
             self._queue.append(_Pending(request, future))
             self._states[request.job_id] = QUEUED
+            self._idle.clear()
+            self._cond.notify()
+        return future
+
+    def submit_session(self, fn, label: str = "") -> "Future":
+        """Queue one session operation; its future gets ``fn()``'s result.
+
+        ``fn`` is a zero-argument callable executed on the worker
+        thread, where it may drive the service directly (the session's
+        localized and full solves). Shares the queue bound and the
+        drain discipline with solve requests.
+        """
+        future: Future = Future()
+        with self._cond:
+            if self._draining or self._stopped:
+                raise ServerError(
+                    "server is draining; retry against another replica",
+                    code="draining",
+                    retriable=True,
+                )
+            if len(self._session_queue) >= self.max_queue:
+                raise BridgeQueueFull(len(self._session_queue))
+            self._session_queue.append(_SessionJob(fn, future, label))
             self._idle.clear()
             self._cond.notify()
         return future
@@ -201,6 +243,19 @@ class SolveBridge:
                         )
                     )
             self._queue.clear()
+            for job in self._session_queue:
+                if not job.cancelled:
+                    job.cancelled = True
+                    if not job.future.done():
+                        job.future.set_exception(
+                            ServerError(
+                                "server is draining; queued session "
+                                "operation rejected",
+                                code="draining",
+                                retriable=True,
+                            )
+                        )
+            self._session_queue.clear()
             self._cond.notify()
         return self._idle.wait(timeout_s)
 
@@ -218,12 +273,20 @@ class SolveBridge:
     def _run(self) -> None:
         while True:
             with self._cond:
-                while not self._queue and not self._stopped:
+                while (
+                    not self._queue
+                    and not self._session_queue
+                    and not self._stopped
+                ):
                     self._idle.set()
                     self._cond.wait()
                 if self._stopped and not self._queue:
                     self._idle.set()
                     return
+                session_jobs = [
+                    j for j in self._session_queue if not j.cancelled
+                ]
+                self._session_queue.clear()
                 batch = []
                 for pending in self._queue:
                     if pending.cancelled:
@@ -246,13 +309,30 @@ class SolveBridge:
                         continue
                     batch.append(pending)
                 self._queue.clear()
-                self._in_flight = len(batch)
+                self._in_flight = len(batch) + len(session_jobs)
                 for pending in batch:
                     self._states[pending.request.job_id] = RUNNING
-            if not batch:
+            if not batch and not session_jobs:
                 continue
             try:
-                self._run_batch(batch)
+                if batch:
+                    self._run_batch(batch)
+                # session operations run after the solve batch taken in
+                # the same wakeup, in FIFO order (per-session serialization)
+                for job in session_jobs:
+                    if job.future.done():
+                        # the waiter vanished (connection teardown
+                        # cancelled the wrapped future): skip the work;
+                        # a retry re-submits with the same request_id
+                        continue
+                    try:
+                        result = job.fn()
+                    except BaseException as exc:
+                        if not job.future.done():
+                            job.future.set_exception(exc)
+                    else:
+                        if not job.future.done():
+                            job.future.set_result(result)
             finally:
                 with self._cond:
                     self._in_flight = 0

@@ -464,6 +464,138 @@ class SolveClient:
             )
         return reply
 
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        graph,
+        session: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        deadline_s: Optional[float] = None,
+        **config_kwargs: Any,
+    ) -> Dict[str, Any]:
+        """Open a resident graph session; returns the ``session-opened`` frame.
+
+        The session id is client-chosen (the cluster router pins the
+        session to a backend by hashing it); one is generated when not
+        given -- read it back from the returned frame's ``session``.
+        The open carries a ``request_id``, so a retry after an
+        ambiguous failure re-attaches to the session the first
+        delivery created instead of failing with ``session_exists``.
+        """
+        if config is not None and config_kwargs:
+            raise ValueError(
+                "pass either a config dict or keyword options, not both"
+            )
+        spec = dict(config) if config is not None else dict(config_kwargs)
+        hello = self.connect()
+        if not hello.get("streaming"):
+            raise ServerError(
+                "server does not speak streaming sessions",
+                code="unsupported_protocol",
+                retriable=False,
+            )
+        self._seq += 1
+        if session is None:
+            session = f"sess-{self._client_tag}-{self._seq}"
+        frame: Dict[str, Any] = {
+            "type": "open-session",
+            "id": f"req-{self._seq}",
+            "request_id": f"{self._client_tag}-{self._seq}",
+            "session": session,
+            "graph": protocol.encode_graph(graph),
+        }
+        if spec:
+            frame["config"] = spec
+        deadline_at = None
+        if deadline_s is not None:
+            deadline_at = time.perf_counter() + float(deadline_s)
+        reply = self._round_trip(frame, deadline_at=deadline_at)
+        if reply.get("type") != "session-opened":
+            raise ProtocolError(
+                f"expected a session-opened frame, got {reply.get('type')!r}"
+            )
+        return reply
+
+    def mutate(
+        self,
+        session: str,
+        insert=(),
+        delete=(),
+        deadline_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Apply one edge mutation batch; returns the ``mutated`` frame.
+
+        Each call stamps a fresh ``request_id`` reused verbatim by
+        every retry, so resends replay the recorded epoch view instead
+        of mutating twice (the session-level idempotency the chaos
+        suite exercises).
+        """
+        self._seq += 1
+        frame: Dict[str, Any] = {
+            "type": "mutate",
+            "id": f"req-{self._seq}",
+            "request_id": f"{self._client_tag}-{self._seq}",
+            "session": session,
+        }
+        if insert:
+            frame["insert"] = [[int(u), int(v)] for u, v in insert]
+        if delete:
+            frame["delete"] = [[int(u), int(v)] for u, v in delete]
+        deadline_at = None
+        if deadline_s is not None:
+            deadline_at = time.perf_counter() + float(deadline_s)
+        reply = self._round_trip(frame, deadline_at=deadline_at)
+        if reply.get("type") != "mutated":
+            raise ProtocolError(
+                f"expected a mutated frame, got {reply.get('type')!r}"
+            )
+        return reply
+
+    def close_session(self, session: str) -> Dict[str, Any]:
+        """Close a session; returns the ``session-closed`` frame."""
+        self._seq += 1
+        reply = self._round_trip(
+            {
+                "type": "close-session",
+                "id": f"req-{self._seq}",
+                "session": session,
+            }
+        )
+        if reply.get("type") != "session-closed":
+            raise ProtocolError(
+                f"expected a session-closed frame, got {reply.get('type')!r}"
+            )
+        return reply
+
+    def subscribe(self, session: str):
+        """Generator of epoch-stamped ``update`` frames for one session.
+
+        The first yielded frame is the current-state snapshot; each
+        later one reflects a newer epoch (delivery is monotone per
+        subscriber). Ends after a frame with ``closed: true`` (the
+        session was closed server-side).
+
+        Subscribe on a **dedicated client instance**: updates arrive
+        unsolicited, and any other request's reply matching on this
+        connection would discard them. The generator blocks in the
+        socket read between updates (bounded by ``timeout_s``).
+        """
+        self.connect()
+        self._seq += 1
+        sub_id = f"req-{self._seq}"
+        self._send({"type": "subscribe", "id": sub_id, "session": session})
+        while True:
+            frame = self._recv(expect_id=sub_id)
+            if frame.get("type") != "update":
+                raise ProtocolError(
+                    f"expected an update frame, got {frame.get('type')!r}"
+                )
+            yield frame
+            if frame.get("closed"):
+                return
+
     def stats(self) -> Dict[str, Any]:
         """The server's ``stats`` frame (server gauges + service snapshot)."""
         reply = self._round_trip({"type": "stats"})

@@ -10,7 +10,11 @@ latest completed-window :class:`~repro.core.checkpoint.SearchCheckpoint`
 of an in-flight solve, and a ``solve`` frame may carry a
 ``checkpoint`` payload to resume from -- together they are how the
 cluster router (docs/CLUSTER.md) fails a mid-solve request over to a
-replica. Server-level failures travel as ``error`` frames whose
+replica. Streaming sessions add ``open-session`` / ``mutate`` /
+``subscribe`` / ``close-session`` frames (docs/STREAMING.md): a
+session holds a resident mutable graph server-side and pushes
+epoch-stamped ``update`` frames to subscribers as mutations land.
+Server-level failures travel as ``error`` frames whose
 ``code``/``retriable``/``exit_code`` fields reuse the existing error
 taxonomy and CLI exit-code semantics (2 OOM, 3 timeout, 4 device
 lost). docs/SERVER.md is the human-readable spec; this module is the
@@ -63,6 +67,10 @@ __all__ = [
     "decode_graph",
     "solve_request_from_frame",
     "validate_request_key",
+    "validate_session_id",
+    "open_session_from_frame",
+    "mutation_from_frame",
+    "session_frame",
     "result_frame",
     "exit_code_for_record",
 ]
@@ -82,7 +90,8 @@ MAX_FRAME_BYTES = 8 << 20
 
 #: Frame types a client may send after the handshake.
 CLIENT_TYPES = frozenset(
-    {"hello", "solve", "status", "stats", "cancel", "shutdown", "checkpoint"}
+    {"hello", "solve", "status", "stats", "cancel", "shutdown", "checkpoint",
+     "open-session", "mutate", "subscribe", "close-session"}
 )
 
 #: Wire error codes: ``code -> (retriable, exit_code)``. Retriable
@@ -111,12 +120,36 @@ ERROR_CODES: Dict[str, Tuple[bool, int]] = {
     "deadline_exceeded": (True, 3),
     "cancelled": (False, 1),
     "internal": (False, 1),
+    #: streaming sessions (docs/STREAMING.md): the named session id is
+    #: not resident on this server -- resending cannot make it appear
+    "unknown_session": (False, 1),
+    #: an ``open-session`` named an id that is already resident with
+    #: a different identity (not an idempotent retry of the open)
+    "session_exists": (False, 1),
+    #: the backend holding this session's resident graph died; the
+    #: state is gone, so retrying the same frame can never succeed --
+    #: the client must open a fresh session and replay its stream
+    "session_lost": (False, 1),
+    #: the server's bounded session registry is full; closes elsewhere
+    #: may free a slot, so the identical open can succeed later
+    "too_many_sessions": (True, 1),
 }
 
 _SOLVE_KEYS = frozenset(
     {"type", "id", "graph", "problem", "config", "timeout_s", "label",
      "max_report", "checkpoint", "request_id", "deadline_s"}
 )
+
+_OPEN_SESSION_KEYS = frozenset(
+    {"type", "id", "session", "graph", "problem", "config", "request_id",
+     "deadline_s"}
+)
+_MUTATE_KEYS = frozenset(
+    {"type", "id", "session", "insert", "delete", "request_id", "deadline_s"}
+)
+
+#: upper bound on a client-chosen session id
+MAX_SESSION_ID_LEN = 128
 
 #: upper bound on a client-generated ``request_id`` (dedup table key)
 MAX_REQUEST_ID_LEN = 256
@@ -196,6 +229,9 @@ def hello_frame(max_frame_bytes: int, server: str) -> Dict[str, Any]:
         "server": server,
         "max_frame_bytes": max_frame_bytes,
         "problems": list(SUPPORTED_PROBLEMS),
+        # capability advert: this build speaks the streaming-session
+        # frames (open-session / mutate / subscribe / close-session)
+        "streaming": True,
     }
 
 
@@ -423,6 +459,141 @@ def solve_request_from_frame(frame: Dict[str, Any]):
         deadline=deadline,
     )
     return request, max_report
+
+
+# ----------------------------------------------------------------------
+# streaming-session frames (docs/STREAMING.md)
+# ----------------------------------------------------------------------
+def validate_session_id(frame: Dict[str, Any]) -> str:
+    """Validate and return a session frame's ``session`` id."""
+    sid = frame.get("session")
+    if (
+        not isinstance(sid, str)
+        or not sid
+        or len(sid) > MAX_SESSION_ID_LEN
+    ):
+        raise ProtocolError(
+            "'session' must be a non-empty string of at most "
+            f"{MAX_SESSION_ID_LEN} characters",
+            code="bad_request",
+        )
+    return sid
+
+
+def open_session_from_frame(frame: Dict[str, Any]):
+    """Validate an ``open-session`` frame into ``(sid, graph, config)``.
+
+    The session id is *client-chosen* (the cluster router pins the
+    session to a backend by hashing it before any server state
+    exists). The graph payload and config/problem validation reuse the
+    ``solve`` frame rules; the config must describe a max-clique
+    solve, since the session maintains ω(G).
+    """
+    unknown = set(frame) - _OPEN_SESSION_KEYS
+    if unknown:
+        raise ProtocolError(
+            f"unknown open-session field(s) {sorted(unknown)}",
+            code="bad_request",
+        )
+    sid = validate_session_id(frame)
+    if "graph" not in frame:
+        raise ProtocolError(
+            "open-session frame needs a 'graph'", code="bad_request"
+        )
+    graph = decode_graph(frame["graph"])
+    config_spec = frame.get("config", {})
+    if not isinstance(config_spec, dict):
+        raise ProtocolError("'config' must be an object", code="bad_request")
+    config_spec = dict(config_spec)
+    bad = set(config_spec) - _CONFIG_FIELDS
+    if bad:
+        raise ProtocolError(
+            f"unknown config key(s) {sorted(bad)}", code="bad_request"
+        )
+    problem = frame.get("problem")
+    if problem is not None:
+        if not isinstance(problem, str):
+            raise ProtocolError("'problem' must be a string", code="bad_request")
+        config_spec.setdefault("problem", problem)
+    requested = config_spec.get("problem", "max-clique")
+    if requested != "max-clique":
+        raise ProtocolError(
+            f"sessions maintain ω(G); problem kind {requested!r} is not "
+            "streamable",
+            code="bad_request",
+        )
+    if config_spec.get("omega_floor"):
+        raise ProtocolError(
+            "omega_floor is managed by the session's incremental solver",
+            code="bad_request",
+        )
+    try:
+        config = SolverConfig(**config_spec)
+    except (SolverConfigError, ValueError, TypeError) as exc:
+        raise ProtocolError(f"invalid config: {exc}", code="bad_request") from exc
+    validate_request_key(frame)
+    return sid, graph, config
+
+
+#: cap on one mutation batch's combined insert+delete edge count
+MAX_MUTATION_EDGES = 100_000
+
+
+def mutation_from_frame(frame: Dict[str, Any]):
+    """Validate a ``mutate`` frame into ``(sid, inserts, deletes)``."""
+    unknown = set(frame) - _MUTATE_KEYS
+    if unknown:
+        raise ProtocolError(
+            f"unknown mutate field(s) {sorted(unknown)}", code="bad_request"
+        )
+    sid = validate_session_id(frame)
+    batches = []
+    for key in ("insert", "delete"):
+        pairs = frame.get(key, [])
+        if not isinstance(pairs, list):
+            raise ProtocolError(f"'{key}' must be a list", code="bad_request")
+        out = []
+        for pair in pairs:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or not all(
+                    isinstance(x, int) and not isinstance(x, bool)
+                    for x in pair
+                )
+            ):
+                raise ProtocolError(
+                    f"'{key}' entries must be [u, v] integer pairs",
+                    code="bad_request",
+                )
+            out.append((pair[0], pair[1]))
+        batches.append(out)
+    inserts, deletes = batches
+    if not inserts and not deletes:
+        raise ProtocolError(
+            "mutate frame needs a non-empty 'insert' or 'delete'",
+            code="bad_request",
+        )
+    if len(inserts) + len(deletes) > MAX_MUTATION_EDGES:
+        raise ProtocolError(
+            f"mutation batch exceeds {MAX_MUTATION_EDGES} edges",
+            code="bad_request",
+        )
+    validate_request_key(frame)
+    return sid, inserts, deletes
+
+
+def session_frame(
+    ftype: str, view, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """Build a session-state frame (``session-opened`` / ``mutated`` /
+    ``update`` / ``session-closed``) from a
+    :class:`~repro.stream.session.SessionView`."""
+    frame: Dict[str, Any] = {"type": ftype}
+    frame.update(view.to_dict() if hasattr(view, "to_dict") else dict(view))
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame
 
 
 def result_frame(

@@ -34,16 +34,18 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import signal
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from .. import __version__
-from ..errors import ProtocolError, ServerError
+from ..errors import ProtocolError, ServerError, SessionError
 from ..log import get_logger
-from ..trace import CounterTracer
+from ..stream import GraphSession, SessionManager
+from ..trace import NULL_TRACER, CounterTracer
 from . import protocol
 from .bridge import BridgeQueueFull, SolveBridge
 from .limiter import TokenBucket
@@ -80,6 +82,12 @@ class ServerConfig:
     #: remembered for duplicate/resend detection (completed entries are
     #: evicted oldest-first past the cap; in-flight ones never are)
     dedup_capacity: int = 1024
+    #: cap on concurrently resident streaming sessions
+    max_sessions: int = 64
+    #: incremental-solver fallback knobs of every session this server
+    #: hosts (see :class:`~repro.stream.incremental.IncrementalSolver`)
+    session_dirty_threshold: float = 0.5
+    session_max_localized: int = 64
 
 
 class _DedupEntry:
@@ -112,7 +120,27 @@ class _Conn:
         #: client request id -> server job id, for outstanding solves
         self.jobs: Dict[str, str] = {}
         self.tasks: Set[asyncio.Task] = set()
+        #: session ids this connection subscribed to (teardown cleanup)
+        self.subs: Set[str] = set()
         self.closed = False
+
+
+class _Subscriber:
+    """One live ``subscribe`` registration on a session.
+
+    ``last_epoch`` makes update delivery monotone per subscriber: a
+    push always carries the session's *current* view, and epochs the
+    subscriber has already seen are skipped -- so even when two
+    mutation completions race on the event loop, no subscriber ever
+    observes a stale view after a fresh one.
+    """
+
+    __slots__ = ("conn", "sub_id", "last_epoch")
+
+    def __init__(self, conn: _Conn, sub_id: str, last_epoch: int) -> None:
+        self.conn = conn
+        self.sub_id = sub_id
+        self.last_epoch = last_epoch
 
 
 class SolveServer:
@@ -131,6 +159,15 @@ class SolveServer:
         self._conns: Set[_Conn] = set()
         #: request_id -> _DedupEntry, LRU-ordered (bounded idempotency)
         self._dedup: "OrderedDict[str, _DedupEntry]" = OrderedDict()
+        #: resident streaming sessions; all registry *writes* happen on
+        #: the bridge worker (FIFO with the mutations they order against)
+        self.sessions = SessionManager(max_sessions=self.config.max_sessions)
+        #: session id -> live subscribe registrations (event-loop only)
+        self._subscribers: Dict[str, List[_Subscriber]] = {}
+        #: session id -> push serialization lock (event-loop only)
+        self._push_locks: Dict[str, asyncio.Lock] = {}
+        #: worker-thread-safe id source for session-internal solves
+        self._session_seq = itertools.count()
         self._next_cid = 0
         self._next_job = 0
 
@@ -337,6 +374,14 @@ class SolveServer:
             await self._on_cancel(conn, frame)
         elif ftype == "checkpoint":
             await self._on_checkpoint(conn, frame)
+        elif ftype == "open-session":
+            await self._on_open_session(conn, frame)
+        elif ftype == "mutate":
+            await self._on_mutate(conn, frame)
+        elif ftype == "subscribe":
+            await self._on_subscribe(conn, frame)
+        elif ftype == "close-session":
+            await self._on_close_session(conn, frame)
         elif ftype == "shutdown":
             await self._send(
                 conn,
@@ -613,6 +658,294 @@ class SolveServer:
             },
         )
 
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def _session_solve_batch(self, sid: str):
+        """Service-backed solve backend for one session's solver.
+
+        The returned callable runs on the bridge worker -- the only
+        thread allowed to drive the blocking service -- so session
+        solves (localized and full) share the scheduler, result cache,
+        admission controller, and executor with ordinary ``solve``
+        traffic.
+        """
+        from ..service.request import SolveRequest
+
+        def solve_batch(jobs):
+            requests = []
+            for graph, config in jobs:
+                requests.append(
+                    SolveRequest(
+                        graph=graph,
+                        config=config,
+                        job_id=f"{sid}-sess{next(self._session_seq)}",
+                        label=f"session:{sid}",
+                    )
+                )
+            for request in requests:
+                self.service.submit(request)
+            by_id = {r.job_id: r for r in self.service.run()}
+            out = []
+            for request in requests:
+                record = by_id.get(request.job_id)
+                if record is None or not record.ok or record.result is None:
+                    reason = record.error if record is not None else "no record"
+                    raise ServerError(f"session {sid!r} solve failed: {reason}")
+                out.append(record.result)
+            return out
+
+        return solve_batch
+
+    async def _on_open_session(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        rid = frame.get("id")
+        if rid is not None and not isinstance(rid, str):
+            await self._send_error(conn, "bad_request", "'id' must be a string")
+            return
+        if self._draining:
+            self.stats.inc("rejects.draining")
+            await self._send_error(
+                conn, "draining", "server is draining", request_id=rid
+            )
+            return
+        request_key = frame.get("request_id")
+        # graph decode can be MiBs of base64+gzip+parsing: off the loop
+        loop = asyncio.get_running_loop()
+        try:
+            sid, graph, config = await loop.run_in_executor(
+                None, protocol.open_session_from_frame, frame
+            )
+        except ProtocolError as exc:
+            self.stats.inc("rejects.bad_request")
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+
+        def fn():
+            if sid in self.sessions:
+                existing = self.sessions.get(sid)
+                if (
+                    request_key is not None
+                    and getattr(existing, "open_request_id", None)
+                    == request_key
+                ):
+                    # a duplicated or retried open of the same request:
+                    # replay the existing session instead of failing
+                    return existing.view
+                raise SessionError(
+                    f"session {sid!r} already exists", code="session_exists"
+                )
+            tracer = getattr(self.service, "tracer", None) or NULL_TRACER
+            session = GraphSession(
+                sid,
+                graph,
+                config,
+                solve_batch=self._session_solve_batch(sid),
+                dirty_threshold=self.config.session_dirty_threshold,
+                max_localized=self.config.session_max_localized,
+                tracer=tracer,
+            )
+            session.open_request_id = request_key
+            self.sessions.create(session)
+            return session.view
+
+        await self._submit_session_op(conn, rid, fn, "session-opened")
+
+    async def _on_mutate(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        rid = frame.get("id")
+        if rid is not None and not isinstance(rid, str):
+            await self._send_error(conn, "bad_request", "'id' must be a string")
+            return
+        try:
+            sid, inserts, deletes = protocol.mutation_from_frame(frame)
+            request_key = protocol.validate_request_key(frame)
+        except ProtocolError as exc:
+            self.stats.inc("rejects.bad_request")
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        if self._draining:
+            self.stats.inc("rejects.draining")
+            await self._send_error(
+                conn, "draining", "server is draining", request_id=rid
+            )
+            return
+        # mutations trigger solves, so they draw from the same
+        # per-connection rate budget as solve frames
+        ok, retry_after = conn.bucket.try_acquire()
+        if not ok:
+            self.stats.inc("rejects.rate_limited")
+            await self._send_error(
+                conn,
+                "rate_limited",
+                f"connection rate limit "
+                f"({self.config.rate:g}/s, burst {self.config.burst}) exceeded",
+                request_id=rid,
+                retry_after_s=retry_after,
+            )
+            return
+
+        def fn():
+            return self.sessions.get(sid).apply(
+                inserts, deletes, request_id=request_key
+            )
+
+        await self._submit_session_op(conn, rid, fn, "mutated")
+
+    async def _on_subscribe(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        rid = frame.get("id")
+        if not isinstance(rid, str) or not rid:
+            await self._send_error(
+                conn,
+                "bad_request",
+                "subscribe needs an 'id' string "
+                "(update frames are stamped with it)",
+            )
+            return
+        try:
+            sid = protocol.validate_session_id(frame)
+        except ProtocolError as exc:
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        try:
+            session = self.sessions.get(sid)
+        except SessionError as exc:
+            self.stats.inc(f"sessions.{exc.code}")
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        # snapshot + register under the push lock so the snapshot and
+        # later pushes cannot reorder on this connection
+        lock = self._push_locks.setdefault(sid, asyncio.Lock())
+        async with lock:
+            view = session.view
+            self._subscribers.setdefault(sid, []).append(
+                _Subscriber(conn, rid, view.epoch)
+            )
+            conn.subs.add(sid)
+            self.stats.inc("sessions.subscribes")
+            await self._send(conn, protocol.session_frame("update", view, rid))
+
+    async def _on_close_session(self, conn: _Conn, frame: Dict[str, Any]) -> None:
+        rid = frame.get("id")
+        if rid is not None and not isinstance(rid, str):
+            await self._send_error(conn, "bad_request", "'id' must be a string")
+            return
+        try:
+            sid = protocol.validate_session_id(frame)
+        except ProtocolError as exc:
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+
+        def fn():
+            return self.sessions.close(sid).view
+
+        await self._submit_session_op(
+            conn, rid, fn, "session-closed", closing=True
+        )
+
+    async def _submit_session_op(
+        self, conn: _Conn, rid, fn, reply_type: str, closing: bool = False
+    ) -> None:
+        """Queue one session operation on the bridge worker.
+
+        The worker queue is FIFO, which is what serializes operations
+        per session (epochs apply in arrival order) while different
+        sessions' operations interleave with each other and with solve
+        batches.
+        """
+        try:
+            future = self.bridge.submit_session(fn, label=reply_type)
+        except BridgeQueueFull as exc:
+            self.stats.inc("rejects.server_busy")
+            await self._send_error(
+                conn,
+                "server_busy",
+                str(exc),
+                request_id=rid,
+                retry_after_s=0.1,
+            )
+            return
+        except ServerError as exc:
+            self.stats.inc(f"rejects.{exc.code}")
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(
+            self._await_session_op(conn, rid, future, reply_type, closing)
+        )
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _await_session_op(
+        self, conn: _Conn, rid, future, reply_type: str, closing: bool
+    ) -> None:
+        try:
+            view = await asyncio.wrap_future(future)
+        except SessionError as exc:
+            self.stats.inc(f"sessions.{exc.code}")
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        except ServerError as exc:
+            self.stats.inc(f"sessions.{exc.code}")
+            await self._send_error(conn, exc.code, str(exc), request_id=rid)
+            return
+        except BaseException as exc:
+            log.exception("session %s operation failed", reply_type)
+            await self._send_error(
+                conn,
+                "internal",
+                f"session operation failed: {exc}",
+                request_id=rid,
+            )
+            return
+        self.stats.inc(f"sessions.{reply_type}")
+        await self._send(conn, protocol.session_frame(reply_type, view, rid))
+        if closing:
+            await self._notify_closed(view)
+        else:
+            await self._push_updates(view.session)
+
+    async def _push_updates(self, sid: str) -> None:
+        """Push the session's *current* view to lagging subscribers.
+
+        Runs under the per-session push lock and always reads the
+        newest view, so concurrent mutation completions collapse into
+        monotone per-subscriber epoch delivery (a later pusher finds
+        everything already delivered and skips).
+        """
+        subs = self._subscribers.get(sid)
+        if not subs:
+            return
+        lock = self._push_locks.setdefault(sid, asyncio.Lock())
+        async with lock:
+            try:
+                session = self.sessions.get(sid)
+            except SessionError:
+                return  # closed while this push was queued
+            view = session.view
+            for sub in list(subs):
+                if sub.conn.closed:
+                    subs.remove(sub)
+                    continue
+                if view.epoch <= sub.last_epoch:
+                    continue
+                sub.last_epoch = view.epoch
+                self.stats.inc("sessions.updates")
+                await self._send(
+                    sub.conn, protocol.session_frame("update", view, sub.sub_id)
+                )
+
+    async def _notify_closed(self, view) -> None:
+        """Send every subscriber a final ``closed`` update, then forget."""
+        sid = view.session
+        self._push_locks.pop(sid, None)
+        for sub in self._subscribers.pop(sid, []):
+            sub.conn.subs.discard(sid)
+            if sub.conn.closed:
+                continue
+            frame = protocol.session_frame("update", view, sub.sub_id)
+            frame["closed"] = True
+            self.stats.inc("sessions.updates")
+            await self._send(sub.conn, frame)
+
     def _stats_frame(self) -> Dict[str, Any]:
         tracer = getattr(self.service, "tracer", None)
         if isinstance(tracer, CounterTracer):
@@ -627,6 +960,10 @@ class SolveServer:
                 in_flight=self.bridge.in_flight,
                 draining=self._draining,
                 dedup_entries=len(self._dedup),
+                sessions_open=len(self.sessions),
+                subscribers=sum(
+                    len(subs) for subs in self._subscribers.values()
+                ),
             ),
             "service": self.service.stats_snapshot(),
             "counters": counters,
@@ -691,6 +1028,15 @@ class SolveServer:
         for job_id in list(conn.jobs.values()):
             if self.bridge.cancel(job_id):
                 self.stats.inc("solves.cancelled_on_disconnect")
+        # subscriptions die with the socket; the sessions themselves
+        # stay resident (a reconnecting client re-subscribes by id)
+        for sid in list(conn.subs):
+            subs = self._subscribers.get(sid)
+            if subs is not None:
+                subs[:] = [s for s in subs if s.conn is not conn]
+                if not subs:
+                    del self._subscribers[sid]
+        conn.subs.clear()
         for task in list(conn.tasks):
             task.cancel()
         await self._close_conn(conn)

@@ -1,0 +1,306 @@
+"""Incremental maximum-clique maintenance under edge mutations.
+
+:class:`IncrementalSolver` keeps, per session, the *exact set of all
+maximum cliques* of the resident graph and updates it per mutation
+batch, falling back to a full engine solve only when the localized
+argument no longer applies. The result at every epoch is
+byte-identical to a from-scratch solve of that epoch's graph -- the
+invariant the hypothesis parity suite pins down.
+
+The localized argument (see docs/STREAMING.md for the proofs):
+
+* **Insert** ``(u, v)``: any clique through the new edge lives inside
+  ``S = {u, v} ∪ (N(u) ∩ N(v))`` of the *post-batch* graph, and every
+  vertex of ``S`` is adjacent to both ``u`` and ``v`` -- so every
+  maximum clique of the induced subgraph ``G[S]`` contains the edge,
+  and one exact solve of ``G[S]`` (with the previous ω as an
+  ``omega_floor`` pruning bound) enumerates exactly the largest
+  cliques through it. A clique larger than the previous ω must use
+  some inserted edge (otherwise it already existed), so the union of
+  the per-edge localized solves plus the surviving previous maximum
+  cliques is the complete new maximum set.
+* **Delete**: deleting edges can only destroy cliques, never create
+  them, so the previous maximum cliques that lost no edge *are* the
+  new maximum set. Only when every one of them was destroyed (the
+  witness edge removed everywhere) does ω actually drop, and a full
+  re-solve recomputes it.
+* **Fallbacks**: the dirty region (sum of ``|S|`` over the batch)
+  exceeding ``dirty_threshold`` × |V|, a destroyed witness set, or a
+  clique count past the solver's materialisation cap all route to the
+  full engine solve. A cap overflow on the *full* solve disables
+  tracking permanently (every later epoch full-solves, so parity
+  holds trivially).
+
+Tracer counters: ``stream.incremental`` (batches absorbed by the
+localized path), ``stream.full_solves`` (fallbacks, by reason:
+``stream.full.dirty`` / ``.witness_destroyed`` / ``.cap`` /
+``.untracked``), ``stream.localized_solves`` (induced subgraph solves
+run), ``stream.skipped_edges`` (inserted edges whose ``|S|`` was
+already below the floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.config import SolverConfig
+from ..graph.build import induced_subgraph
+from ..graph.csr import CSRGraph
+from ..trace import NULL_TRACER, Tracer
+from .mutable import MutationDelta
+
+__all__ = ["IncrementalSolver", "SolveBatchFn", "local_solve_batch"]
+
+#: signature of the solve backend: a list of ``(graph, config)`` jobs
+#: in, one exact result (``clique_number`` / ``num_maximum_cliques`` /
+#: ``cliques`` / ``enumerated_all``) per job out, same order.
+SolveBatchFn = Callable[[Sequence[Tuple[CSRGraph, SolverConfig]]], List]
+
+Clique = Tuple[int, ...]
+
+
+def local_solve_batch(jobs, memory_mib: int = 192, tracer: Tracer = NULL_TRACER):
+    """In-process solve backend: one fresh simulated device per job.
+
+    The standalone counterpart of the server's service-backed batch --
+    used by :class:`~repro.stream.session.GraphSession` when no
+    service is wired in (tests, benchmarks, examples).
+    """
+    from ..core.solver import MaxCliqueSolver
+    from ..gpusim import Device, DeviceSpec
+
+    out = []
+    for graph, config in jobs:
+        device = Device(DeviceSpec(memory_bytes=memory_mib << 20))
+        out.append(MaxCliqueSolver(graph, config, device, tracer=tracer).solve())
+    return out
+
+
+@dataclass
+class _State:
+    """The maintained answer for one epoch.
+
+    ``witness`` is the lexicographically smallest maximum clique --
+    the deterministic representative both the tracked set and a
+    from-scratch solve agree on (solver rows are per-row sorted).
+    """
+
+    omega: int = 0
+    num_maximum_cliques: int = 0
+    witness: Clique = ()
+    #: the complete maximum-clique set; None once tracking is off
+    cliques: Optional[Set[Clique]] = None
+
+
+class IncrementalSolver:
+    """Maintains the exact maximum-clique set across mutation batches.
+
+    Parameters
+    ----------
+    config:
+        The session's solver configuration. Tracking (and with it the
+        localized path) requires an enumerating max-clique config
+        (``problem="max-clique"``, no window) -- anything else runs
+        every epoch as a full solve of that config.
+    solve_batch:
+        Exact solve backend (:data:`SolveBatchFn`); localized induced
+        solves for one batch are submitted together so a threaded
+        service executor can overlap them.
+    dirty_threshold:
+        Full-solve fallback once the summed closed-common-neighborhood
+        size of a batch's inserted edges exceeds this fraction of |V|.
+    max_localized:
+        Full-solve fallback once a single batch needs more than this
+        many localized induced solves.
+    """
+
+    def __init__(
+        self,
+        config: SolverConfig,
+        solve_batch: SolveBatchFn,
+        *,
+        dirty_threshold: float = 0.5,
+        max_localized: int = 64,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        if dirty_threshold <= 0:
+            raise ValueError("dirty_threshold must be positive")
+        if max_localized < 1:
+            raise ValueError("max_localized must be at least 1")
+        self.config = config
+        self.solve_batch = solve_batch
+        self.dirty_threshold = dirty_threshold
+        self.max_localized = max_localized
+        self.tracer = tracer
+        self.state = _State()
+        #: localized max-clique maintenance is only sound for an
+        #: enumerate-everything max-clique configuration
+        self._trackable = (
+            config.problem == "max-clique"
+            and not config.windowed
+            and config.enumerate_all
+        )
+        self.incremental_batches = 0
+        self.full_solves = 0
+        self.localized_solves = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def tracking(self) -> bool:
+        """Whether the exact clique set is currently maintained."""
+        return self._trackable and self.state.cliques is not None
+
+    def bootstrap(self, graph: CSRGraph) -> _State:
+        """Epoch-0 full solve; initialises the tracked set."""
+        return self._full_solve(graph, reason=None)
+
+    def apply(self, graph: CSRGraph, delta: MutationDelta) -> Tuple[_State, str]:
+        """Advance the answer to ``graph`` (the post-``delta`` epoch).
+
+        Returns ``(state, path)`` where ``path`` is ``"incremental"``
+        or ``"full"``. Raises whatever the solve backend raises; the
+        maintained state is untouched on failure so the caller can
+        revert the graph delta and retry cleanly.
+        """
+        if not self.tracking:
+            self.tracer.counter("stream.full.untracked")
+            return self._full_solve(graph, reason="untracked"), "full"
+        assert self.state.cliques is not None
+        survivors = self._survivors(delta.deleted)
+        if self.state.omega > 0 and not survivors:
+            # every previous maximum clique lost an edge: ω dropped to
+            # an unknown value, nothing localizes the search any more
+            self.tracer.counter("stream.full.witness_destroyed")
+            return self._full_solve(graph, reason="witness_destroyed"), "full"
+        floor = self.state.omega
+        jobs = self._localized_jobs(graph, delta.inserted, floor)
+        if jobs is None:
+            self.tracer.counter("stream.full.dirty")
+            return self._full_solve(graph, reason="dirty"), "full"
+        merged, count = self._merge(graph, survivors, jobs, floor)
+        if merged is None:
+            # a localized enumeration overflowed the materialisation
+            # cap: the set union would be incomplete
+            self.tracer.counter("stream.full.cap")
+            return self._full_solve(graph, reason="cap"), "full"
+        omega = len(next(iter(merged))) if merged else 0
+        self.state = _State(
+            omega=omega,
+            num_maximum_cliques=count,
+            witness=min(merged) if merged else (),
+            cliques=merged,
+        )
+        self.incremental_batches += 1
+        self.tracer.counter("stream.incremental")
+        return self.state, "incremental"
+
+    # ------------------------------------------------------------------
+    # localized path
+    # ------------------------------------------------------------------
+    def _survivors(self, deleted: Sequence[Tuple[int, int]]) -> Set[Clique]:
+        """Previous maximum cliques that kept every edge."""
+        assert self.state.cliques is not None
+        if not deleted:
+            return self.state.cliques
+        survivors = set(self.state.cliques)
+        for u, v in deleted:
+            survivors = {c for c in survivors if u not in c or v not in c}
+            if not survivors:
+                break
+        return survivors
+
+    def _localized_jobs(self, graph, inserted, floor):
+        """Closed common neighborhoods of the inserted edges.
+
+        Returns ``[(S, subgraph_job), ...]`` or None when the dirty
+        region is past the fallback thresholds.
+        """
+        jobs = []
+        dirty = 0
+        for u, v in inserted:
+            nu = graph.neighbors(u)
+            nv = graph.neighbors(v)
+            common = np.intersect1d(nu, nv, assume_unique=True)
+            s = np.concatenate(
+                [np.asarray([u, v], dtype=np.int64), common.astype(np.int64)]
+            )
+            if s.size < floor:
+                # too small to hold a clique of the current ω: the
+                # edge cannot change the maximum set
+                self.tracer.counter("stream.skipped_edges")
+                continue
+            dirty += int(s.size)
+            jobs.append(s)
+        if len(jobs) > self.max_localized:
+            return None
+        if jobs and dirty > self.dirty_threshold * max(graph.num_vertices, 1):
+            return None
+        return jobs
+
+    def _merge(self, graph, survivors, jobs, floor):
+        """Union the survivors with the localized enumerations."""
+        if not jobs:
+            return survivors, len(survivors)
+        cfg = replace(self.config, omega_floor=floor)
+        batch = []
+        mappings = []
+        for s in jobs:
+            sub, ids = induced_subgraph(graph, s)
+            batch.append((sub, cfg))
+            mappings.append(ids)
+        results = self.solve_batch(batch)
+        self.localized_solves += len(batch)
+        self.tracer.counter("stream.localized_solves", len(batch))
+        best = floor
+        found: Set[Clique] = set()
+        for result, ids in zip(results, mappings):
+            omega = int(result.clique_number)
+            if omega < floor:
+                continue  # the floor pruned everything: nothing >= ω
+            if not result.enumerated_all or int(
+                result.num_maximum_cliques
+            ) != len(result.cliques):
+                return None, 0
+            if omega > best:
+                best = omega
+                found = set()
+            if omega == best:
+                for row in result.cliques:
+                    found.add(tuple(int(ids[x]) for x in row))
+        if best == floor:
+            merged = survivors | found
+        else:
+            merged = found
+        return merged, len(merged)
+
+    # ------------------------------------------------------------------
+    # full-solve fallback
+    # ------------------------------------------------------------------
+    def _full_solve(self, graph: CSRGraph, reason: Optional[str]) -> _State:
+        result = self.solve_batch([(graph, self.config)])[0]
+        self.full_solves += 1
+        if reason is not None:
+            self.tracer.counter("stream.full_solves")
+        count = int(result.num_maximum_cliques)
+        rows = [tuple(int(v) for v in row) for row in getattr(result, "cliques", [])]
+        cliques: Optional[Set[Clique]] = None
+        if self._trackable and bool(result.enumerated_all) and count == len(rows):
+            cliques = set(rows)
+        elif self._trackable:
+            # materialisation cap overflow: the complete set cannot be
+            # held, so tracking is off for good -- every later epoch
+            # full-solves and parity holds trivially
+            self._trackable = False
+        self.state = _State(
+            omega=int(result.clique_number),
+            num_maximum_cliques=count,
+            # the solver's rows are per-row sorted, and a from-scratch
+            # solve of the same (graph, config) reports the same rows,
+            # so this min is deterministic even when rows are capped
+            witness=min(rows) if rows else (),
+            cliques=cliques,
+        )
+        return self.state

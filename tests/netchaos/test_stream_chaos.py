@@ -1,0 +1,141 @@
+"""Streaming sessions under wire chaos: same answers, applied once.
+
+A fixed-seed fault plan (duplicated frames + mid-byte cuts) sits
+between the client and the server while a session absorbs a scripted
+mutation stream. Mutate frames carry ``request_id`` and dedup exactly
+like solves, so the chaos run's view at every epoch -- and the final
+resident graph fingerprint -- must be byte-identical to the fault-free
+run, with the backend having applied each batch exactly once. A
+subscriber keeps re-attaching through the same damaged wire and must
+converge on the same final view.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ProtocolError, ServerError
+from repro.graph import generators as gen
+from repro.netchaos import NetFaultPlan
+from repro.server import SolveClient
+
+#: cut+duplicate heavy: every few frames one copy or one torn reply
+CHAOS_RATES = dict(duplicate=0.15, cut=0.08, truncate=0.04)
+
+N_BATCHES = 10
+
+
+def base_graph():
+    return gen.caveman_social(4, 24, p_in=0.4, seed=1)
+
+
+def mutation_script():
+    """Deterministic batches over the base graph's vertex universe."""
+    batches = []
+    for i in range(N_BATCHES):
+        if i % 3 == 2:
+            batches.append(((), ((0, 10 + i - 1),)))
+        else:
+            batches.append((((0, 10 + i), (1, 10 + i)), ()))
+    return batches
+
+
+def view_fields(frame):
+    """The answer-bearing fields of a session frame (wire ids vary)."""
+    return {
+        key: frame[key]
+        for key in ("epoch", "omega", "num_maximum_cliques", "witness",
+                    "fingerprint", "num_vertices", "num_edges")
+    }
+
+
+def run_stream(make_client, target, sid):
+    """Open, mutate through the script, and return the per-epoch views."""
+    client = make_client(target, retries=8)
+    views = [view_fields(client.open_session(base_graph(), session=sid))]
+    for ins, dels in mutation_script():
+        frame = client.mutate(sid, insert=ins, delete=dels, deadline_s=60.0)
+        views.append(view_fields(frame))
+    return views
+
+
+def watch_until(port, sid, final_epoch, attempts=40):
+    """Re-subscribing watcher that rides out cuts; returns the view it
+    converged on (epoch == final_epoch)."""
+    last = None
+    for _ in range(attempts):
+        watcher = SolveClient(port=port, timeout_s=30.0, retries=0)
+        try:
+            for frame in watcher.subscribe(sid):
+                last = view_fields(frame)
+                if last["epoch"] >= final_epoch:
+                    return last
+        except (ServerError, ProtocolError, OSError):
+            time.sleep(0.05)
+        finally:
+            watcher.close()
+    raise AssertionError(f"subscriber never reached epoch {final_epoch}")
+
+
+class TestStreamingChaosParity:
+    @pytest.mark.parametrize("seed", [13, 41])
+    def test_chaos_stream_matches_fault_free_stream(self, seed, make_server,
+                                                    make_proxy, make_client):
+        baseline_srv = make_server()
+        baseline = run_stream(make_client, baseline_srv, "base")
+
+        chaos_srv = make_server()
+        plan = NetFaultPlan.from_rates(seed=seed, conns=16, frames=64,
+                                       **CHAOS_RATES)
+        proxy = make_proxy(chaos_srv, plan)
+        chaos = run_stream(make_client, proxy, "chaos")
+
+        assert proxy.counters.get("injected.total", 0) > 0, \
+            "plan injected nothing; rates too low"
+        assert len(chaos) == len(baseline)
+        for base_view, chaos_view in zip(baseline, chaos):
+            assert chaos_view == base_view
+        # exactly-once application: the resident session advanced one
+        # epoch per scripted batch despite duplicated/resent frames
+        session = chaos_srv.server.sessions.get("chaos")
+        assert session.epoch == N_BATCHES
+        # any replay the dedup table absorbed is visible in the tracer
+        counters = chaos_srv.server.service.tracer.counters_snapshot()
+        assert counters.get("stream.replays", 0) >= 0
+
+    def test_subscriber_converges_through_chaos(self, make_server,
+                                                make_proxy, make_client):
+        server = make_server()
+        # fault-free reference run on a separate server
+        reference_srv = make_server()
+        reference = run_stream(make_client, reference_srv, "ref")
+
+        plan = NetFaultPlan.from_rates(seed=99, conns=16, frames=48,
+                                       **CHAOS_RATES)
+        proxy = make_proxy(server, plan)
+        views = run_stream(make_client, proxy, "watched")
+        final = watch_until(proxy.port, "watched", final_epoch=N_BATCHES)
+        assert final == views[-1] == reference[-1]
+
+    def test_duplicated_mutate_frame_applies_once(self, make_server,
+                                                  make_proxy, make_client,
+                                                  raw_conn):
+        """Both copies of a mutate in one segment: one epoch, one apply."""
+        from repro.server import protocol
+
+        server = make_server()
+        client = make_client(server)
+        client.open_session(base_graph(), session="dup")
+
+        conn = raw_conn(server)
+        conn.hello()
+        encoded = protocol.encode_frame(
+            {"type": "mutate", "id": "m-1", "request_id": "m-1",
+             "session": "dup", "insert": [[0, 50], [1, 50]]}
+        )
+        conn.send_bytes(encoded + encoded)
+        first, second = conn.recv(), conn.recv()
+        assert first["type"] == second["type"] == "mutated"
+        assert first["epoch"] == second["epoch"] == 1
+        assert {first["replayed"], second["replayed"]} == {False, True}
+        assert server.server.sessions.get("dup").epoch == 1

@@ -1,0 +1,215 @@
+"""The streaming invariant: every epoch equals a from-scratch solve.
+
+The session's maintained answer (ω, the maximum-clique count, the
+lexicographically smallest witness, the graph fingerprint) must be
+byte-identical to bootstrapping a fresh solver on the same epoch's
+graph -- after any sequence of insert/delete batches, on the serial
+in-process backend and on a threaded one. Hypothesis drives random
+sequences; the seeded long-run test additionally pins down that the
+*incremental* path (not the full-solve fallback) carries the majority
+of the batches, which is the subsystem's whole reason to exist.
+"""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SolverConfig
+from repro.graph import from_edge_list
+from repro.graph import generators as gen
+from repro.stream import GraphSession, IncrementalSolver, local_solve_batch
+from repro.trace import CounterTracer
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def threaded_solve_batch(jobs):
+    """Localized solves of one batch fanned across real threads."""
+    if len(jobs) <= 1:
+        return local_solve_batch(jobs)
+    with concurrent.futures.ThreadPoolExecutor(max_workers=4) as pool:
+        futures = [pool.submit(local_solve_batch, [job]) for job in jobs]
+        return [f.result()[0] for f in futures]
+
+
+def assert_view_matches_scratch(session, config):
+    """session.view == a fresh bootstrap of the same epoch's graph."""
+    graph = session.mutable.materialize()
+    fresh = IncrementalSolver(config, local_solve_batch)
+    state = fresh.bootstrap(graph)
+    view = session.view
+    assert view.omega == state.omega, (view.epoch, view.omega, state.omega)
+    assert view.num_maximum_cliques == state.num_maximum_cliques
+    assert view.witness == state.witness
+    assert view.fingerprint == graph.fingerprint()
+    # and the tracked sets agree entirely, not just their summaries
+    if session.solver.tracking and fresh.tracking:
+        assert session.solver.state.cliques == fresh.state.cliques
+
+
+@st.composite
+def mutation_scripts(draw, max_n=12, max_batches=6, max_edges=3):
+    """(base graph, [(inserts, deletes), ...]) with ids in range."""
+    n = draw(st.integers(3, max_n))
+    density = draw(st.floats(0.1, 0.6))
+    seed = draw(st.integers(0, 2**31 - 1))
+    graph = gen.erdos_renyi(n, density, seed=seed)
+    pair = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+        lambda e: e[0] != e[1]
+    )
+    batches = draw(
+        st.lists(
+            st.tuples(
+                st.lists(pair, max_size=max_edges),
+                st.lists(pair, max_size=max_edges),
+            ),
+            min_size=1,
+            max_size=max_batches,
+        )
+    )
+    # an edge in both lists of one batch is rejected by design; keep
+    # the scripts inside the valid space
+    cleaned = []
+    for ins, dels in batches:
+        canon_ins = {tuple(sorted(e)) for e in ins}
+        dels = [e for e in dels if tuple(sorted(e)) not in canon_ins]
+        cleaned.append((ins, dels))
+    return graph, cleaned
+
+
+@given(script=mutation_scripts())
+@settings(**SETTINGS)
+def test_random_scripts_hold_parity_at_every_epoch(script):
+    graph, batches = script
+    config = SolverConfig()
+    session = GraphSession("prop", graph, config)
+    assert_view_matches_scratch(session, config)
+    for i, (ins, dels) in enumerate(batches):
+        session.apply(ins, dels, request_id=f"rq-{i}")
+        assert_view_matches_scratch(session, config)
+    assert session.epoch == len(batches)
+
+
+def seeded_script(graph, n_batches, seed, edges_per_batch=3, delete_every=4):
+    """A deterministic long mutation stream over the graph's universe."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    src, dst = graph.to_edge_list()
+    present = {tuple(sorted(e)) for e in zip(src.tolist(), dst.tolist())}
+    pool = []
+    batches = []
+    for i in range(n_batches):
+        if i % delete_every == delete_every - 1 and len(pool) >= 2:
+            picks = sorted(rng.choice(len(pool), size=2, replace=False))
+            dels = [pool[int(p)] for p in picks]
+            for e in dels:
+                pool.remove(e)
+                present.discard(e)
+            batches.append(((), tuple(dels)))
+            continue
+        ins = []
+        while len(ins) < edges_per_batch:
+            u, v = (int(x) for x in rng.integers(0, n, size=2))
+            if u == v:
+                continue
+            e = (min(u, v), max(u, v))
+            if e in present:
+                continue
+            present.add(e)
+            pool.append(e)
+            ins.append(e)
+        batches.append((tuple(ins), ()))
+    return batches
+
+
+@pytest.mark.parametrize(
+    "backend", [local_solve_batch, threaded_solve_batch],
+    ids=["serial", "threaded"],
+)
+def test_fifty_mutation_stream_is_incremental_and_exact(backend):
+    """>= 50 seeded mutations: parity at every epoch, incremental majority."""
+    graph = gen.caveman_social(6, 40, p_in=0.3, seed=11)
+    config = SolverConfig()
+    tracer = CounterTracer()
+    session = GraphSession(
+        "soak", graph, config, solve_batch=backend, tracer=tracer
+    )
+    batches = seeded_script(graph, n_batches=50, seed=20260808)
+    views = []
+    for i, (ins, dels) in enumerate(batches):
+        views.append(session.apply(ins, dels, request_id=f"soak-{i}"))
+        assert_view_matches_scratch(session, config)
+    assert session.epoch == 50
+    stats = session.stats()
+    # the localized path must have absorbed the majority of the batches
+    assert stats["incremental_batches"] > len(batches) / 2, stats
+    assert tracer.counters_snapshot().get("stream.incremental") == \
+        stats["incremental_batches"]
+    # executors must not change a single view: pin the trajectory shape
+    assert [v.epoch for v in views] == list(range(1, 51))
+
+
+def test_serial_and_threaded_backends_agree_view_for_view():
+    graph = gen.caveman_social(4, 30, p_in=0.3, seed=5)
+    config = SolverConfig()
+    batches = seeded_script(graph, n_batches=30, seed=7)
+
+    def run(backend):
+        session = GraphSession("x", graph, config, solve_batch=backend)
+        return [session.apply(ins, dels) for ins, dels in batches]
+
+    serial = run(local_solve_batch)
+    threaded = run(threaded_solve_batch)
+    for a, b in zip(serial, threaded):
+        assert a.to_dict() == b.to_dict()
+
+
+def test_witness_destroyed_falls_back_and_recovers():
+    """Deleting every maximum clique's edge forces one full re-solve."""
+    edges = [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+    config = SolverConfig()
+    tracer = CounterTracer()
+    session = GraphSession(
+        "w", from_edge_list(edges), config, tracer=tracer,
+        dirty_threshold=1.0,  # tiny graph: keep re-inserts localized
+    )
+    assert session.view.omega == 3
+    view = session.apply(deletes=[(0, 1)])  # the only triangle dies
+    assert view.path == "full"
+    assert view.omega == 2
+    assert tracer.counters_snapshot().get("stream.full.witness_destroyed") == 1
+    assert_view_matches_scratch(session, config)
+    # and the session keeps tracking afterwards
+    view = session.apply(inserts=[(0, 1)])
+    assert view.omega == 3 and view.path == "incremental"
+    assert_view_matches_scratch(session, config)
+
+
+def test_dirty_region_fallback_on_dense_batch():
+    """A batch whose neighborhoods span the graph full-solves."""
+    graph = gen.erdos_renyi(30, 0.5, seed=3)
+    config = SolverConfig()
+    tracer = CounterTracer()
+    session = GraphSession(
+        "d", graph, config, dirty_threshold=0.05, tracer=tracer
+    )
+    missing = []
+    for u in range(30):
+        for v in range(u + 1, 30):
+            if not session.mutable.has_edge(u, v):
+                missing.append((u, v))
+            if len(missing) >= 8:
+                break
+        if len(missing) >= 8:
+            break
+    view = session.apply(inserts=missing)
+    assert view.path == "full"
+    assert tracer.counters_snapshot().get("stream.full.dirty") == 1
+    assert_view_matches_scratch(session, config)

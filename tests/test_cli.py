@@ -86,6 +86,21 @@ class TestCompare:
         assert "warp-parallel" in out
         assert "disagree" not in out
 
+    def test_compare_covers_every_problem_kind(self, graph_file, capsys):
+        # exit 0 means every kind row agreed with its CPU oracle
+        assert main(["compare", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "k-clique-count (k=3)" in out
+        assert "maximal-enum" in out
+        assert "CPU oracle" in out
+        assert "disagree" not in out
+
+    def test_compare_k_flag_sets_the_count_row(self, graph_file, capsys):
+        assert main(["compare", graph_file, "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "k-clique-count (k=4)" in out
+        assert "disagree" not in out
+
 
 class TestTrace:
     STAGES = ["csr_upload", "preprocess", "heuristic", "setup", "bfs"]
